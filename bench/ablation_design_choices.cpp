@@ -1,0 +1,176 @@
+// Ablations over PNM's design choices (DESIGN.md §5):
+//
+//  A. Nesting — nested MACs vs individually-protected marks (extended AMS)
+//     under the targeted-removal attack: the necessity half of Theorem 3.
+//  B. Anonymity — anonymous vs plaintext IDs under selective dropping: the
+//     reason the "incorrect extension" of §4.2 is incorrect.
+//  C. Marking probability — the np trade-off: overhead per packet vs packets
+//     needed to identify (sweep of the paper's np=3 choice).
+//  D. MAC width — per-mark bytes vs forgery probability 2^-8L (the reason
+//     4-byte truncated MACs are the sensor default).
+//  E. Anonymous-ID width — collision load on the sink's candidate search.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/campaign.h"
+#include "crypto/anon_id.h"
+#include "crypto/keys.h"
+#include "sink/anon_lookup.h"
+#include "util/stats.h"
+
+namespace {
+
+const char* outcome(const pnm::core::ChainExperimentResult& r) {
+  if (r.packets_delivered == 0) return "STARVED";
+  if (!r.final_analysis.identified) return "BLIND";
+  return r.mole_in_suspects ? "CAUGHT" : "MISLED";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using pnm::Table;
+  auto args = pnm::bench::parse_args(argc, argv);
+  std::size_t runs = args.runs ? args.runs : 60;
+
+  // ---------------------------------------------------------- A: nesting
+  {
+    Table t({"MAC binding", "attack", "outcome"});
+    t.set_title("Ablation A — nested vs per-mark MACs (targeted removal, n=10)");
+    for (auto scheme : {pnm::marking::SchemeKind::kNested,
+                        pnm::marking::SchemeKind::kExtendedAms}) {
+      pnm::core::ChainExperimentConfig cfg;
+      cfg.forwarders = 10;
+      cfg.packets = 300;
+      cfg.protocol.scheme = scheme;
+      cfg.attack = pnm::attack::AttackKind::kRemoval;
+      cfg.seed = args.seed;
+      auto r = pnm::core::run_chain_experiment(cfg);
+      t.add_row({std::string(pnm::marking::scheme_kind_name(scheme)), "mark-removal",
+                 outcome(r)});
+    }
+    pnm::bench::emit(t, args);
+  }
+
+  // --------------------------------------------------------- B: anonymity
+  {
+    Table t({"IDs on the wire", "attack", "outcome"});
+    t.set_title("Ablation B — anonymous vs plaintext IDs (selective drop, n=10)");
+    for (auto scheme : {pnm::marking::SchemeKind::kPnm,
+                        pnm::marking::SchemeKind::kNaiveProbNested}) {
+      pnm::core::ChainExperimentConfig cfg;
+      cfg.forwarders = 10;
+      cfg.packets = 300;
+      cfg.protocol.scheme = scheme;
+      cfg.attack = pnm::attack::AttackKind::kSelectiveDrop;
+      cfg.seed = args.seed;
+      auto r = pnm::core::run_chain_experiment(cfg);
+      t.add_row({scheme == pnm::marking::SchemeKind::kPnm ? "anonymous" : "plaintext",
+                 "selective-drop", outcome(r)});
+    }
+    pnm::bench::emit(t, args);
+  }
+
+  // ------------------------------------------------- C: marking probability
+  {
+    Table t({"target np", "p (n=20)", "avg marks/pkt", "avg packets to identify",
+             "identified/" + std::to_string(runs)});
+    t.set_title("Ablation C — np trade-off on a 20-forwarder path (800 pkts/run)");
+    for (double np : {1.0, 2.0, 3.0, 5.0, 8.0}) {
+      pnm::SampleSet packets_needed;
+      pnm::Accumulator marks;
+      std::size_t identified = 0;
+      for (std::size_t r = 0; r < runs; ++r) {
+        pnm::core::ChainExperimentConfig cfg;
+        cfg.forwarders = 20;
+        cfg.packets = 800;
+        cfg.protocol.target_marks_per_packet = np;
+        cfg.seed = args.seed * 17 + r * 1009 + static_cast<std::uint64_t>(np * 10);
+        auto result = pnm::core::run_chain_experiment(cfg);
+        marks.add(static_cast<double>(result.marks_verified) /
+                  static_cast<double>(result.packets_delivered));
+        if (result.final_analysis.identified && result.packets_to_identify) {
+          ++identified;
+          packets_needed.add(static_cast<double>(*result.packets_to_identify));
+        }
+      }
+      t.add_row({Table::num(np, 1), Table::num(np / 20.0, 3), Table::num(marks.mean(), 2),
+                 Table::num(packets_needed.mean(), 1), Table::num(identified)});
+    }
+    pnm::bench::emit(t, args);
+  }
+
+  // ------------------------------------------------------------ D: MAC width
+  {
+    Table t({"mac bytes", "mark bytes (id+mac+framing)", "forgery prob / attempt"});
+    t.set_title("Ablation D — truncated MAC width");
+    for (std::size_t L : {1u, 2u, 4u, 8u, 16u}) {
+      t.add_row({Table::num(L), Table::num(2 + L + 2),
+                 "2^-" + Table::num(8 * L)});
+    }
+    pnm::bench::emit(t, args);
+  }
+
+  // ------------------------------------------------------ E: anon-ID width
+  {
+    Table t({"anon bytes", "network nodes", "avg candidates per lookup",
+             "extra MAC checks / mark"});
+    t.set_title("Ablation E — anonymous-ID width vs sink collision load");
+    for (std::size_t len : {1u, 2u, 3u}) {
+      for (std::size_t nodes : {100u, 1000u, 4000u}) {
+        pnm::crypto::KeyStore keys(pnm::Bytes{0x11, 0x22}, nodes);
+        pnm::Bytes report{1, 2, 3, 4, 5};
+        pnm::sink::AnonIdTable table(keys, report, len);
+        // Average candidate-set size over each node's own anon id.
+        pnm::Accumulator cands;
+        for (std::size_t id = 1; id < nodes; id += std::max<std::size_t>(1, nodes / 512)) {
+          auto anon = pnm::crypto::anon_id(keys.key_unchecked(static_cast<pnm::NodeId>(id)),
+                                           report, static_cast<pnm::NodeId>(id), len);
+          cands.add(static_cast<double>(table.candidates(anon).size()));
+        }
+        t.add_row({Table::num(len), Table::num(nodes), Table::num(cands.mean(), 3),
+                   Table::num(cands.mean() - 1.0, 3)});
+      }
+    }
+    pnm::bench::emit(t, args);
+  }
+
+  // ------------------------------------------------ F: stability window
+  {
+    Table t({"stability window", "avg bogus absorbed", "avg wasted inspections",
+             "campaigns neutralized/" + std::to_string(runs / 6 + 2)});
+    t.set_title("Ablation F — inspection dispatch threshold (catch latency vs "
+                "wasted task forces, 20-hop chain)");
+    std::size_t campaigns = runs / 6 + 2;
+    for (std::size_t window : {1u, 5u, 10u, 20u, 40u}) {
+      pnm::Accumulator absorbed, wasted;
+      std::size_t neutralized = 0;
+      for (std::size_t c = 0; c < campaigns; ++c) {
+        pnm::core::CatchCampaignConfig cfg;
+        cfg.field = pnm::core::FieldKind::kChain;
+        cfg.forwarders = 20;
+        cfg.attack = pnm::attack::AttackKind::kSourceOnly;
+        cfg.max_packets = 2000;
+        cfg.stability_window = window;
+        cfg.seed = args.seed + c * 977 + window;
+        auto r = pnm::core::run_catch_campaign(cfg);
+        absorbed.add(static_cast<double>(r.total_bogus_delivered));
+        double w = 0;
+        for (const auto& phase : r.phases) w += static_cast<double>(phase.wasted_inspections);
+        wasted.add(w);
+        if (r.attack_neutralized) ++neutralized;
+      }
+      t.add_row({Table::num(window), Table::num(absorbed.mean(), 1),
+                 Table::num(wasted.mean(), 2), Table::num(neutralized)});
+    }
+    pnm::bench::emit(t, args);
+  }
+
+  std::printf("shape: A/B — removing either nesting or anonymity flips CAUGHT to "
+              "MISLED; C — np=3 sits at the\nknee (higher np buys little "
+              "identification speed for linear overhead); D/E — 4-byte MACs and\n"
+              "2-byte anon IDs keep both forgery odds and sink collision load "
+              "negligible at sensor scales\n");
+  return 0;
+}

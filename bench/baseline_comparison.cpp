@@ -1,0 +1,213 @@
+// §8 "Related Work" comparison, quantified: PNM vs logging-based traceback
+// (SPIE [9]) vs notification-based traceback (itrace [2]) on the same
+// 20-forwarder path and the same 200-packet bogus flow.
+//
+// Columns:
+//   data overhead   — extra bytes per DATA packet on the wire;
+//   node storage    — per-node RAM dedicated to traceback;
+//   control msgs    — traceback-dedicated messages (queries+replies or
+//                     notification deliveries) for the whole flow;
+//   honest          — does it find the source's neighborhood with honest
+//                     forwarders?
+//   vs colluder     — outcome when a colluding forwarding mole manipulates
+//                     the mechanism (marks / answers / notifications).
+#include <cstdio>
+
+#include "baselines/itrace.h"
+#include "baselines/spie.h"
+#include "bench_util.h"
+#include "core/campaign.h"
+#include "core/protocol.h"
+#include "crypto/keys.h"
+#include "net/simulator.h"
+#include "sink/order_matrix.h"
+#include "sink/route_reconstruct.h"
+#include "util/stats.h"
+
+namespace {
+
+using pnm::Table;
+
+constexpr std::size_t kForwarders = 20;
+constexpr std::size_t kPackets = 200;
+
+struct Row {
+  std::string approach;
+  double data_overhead_bytes = 0;
+  std::size_t node_storage_bytes = 0;
+  std::size_t control_messages = 0;
+  std::string honest;
+  std::string vs_colluder;
+};
+
+// ------------------------------------------------------------------- PNM
+
+Row pnm_row(std::uint64_t seed) {
+  Row row;
+  row.approach = "pnm";
+  {
+    pnm::core::ChainExperimentConfig cfg;
+    cfg.forwarders = kForwarders;
+    cfg.packets = kPackets;
+    cfg.seed = seed;
+    auto r = pnm::core::run_chain_experiment(cfg);
+    row.data_overhead_bytes =
+        static_cast<double>(r.marks_verified) / static_cast<double>(r.packets_delivered) *
+        (2 + 4 + 2);
+    row.honest = r.correct_source_neighborhood
+                     ? "identifies (" + Table::num(*r.packets_to_identify) + " pkts)"
+                     : "failed";
+  }
+  {
+    pnm::core::ChainExperimentConfig cfg;
+    cfg.forwarders = kForwarders;
+    cfg.packets = kPackets;
+    cfg.attack = pnm::attack::AttackKind::kSelectiveDrop;
+    cfg.seed = seed;
+    auto r = pnm::core::run_chain_experiment(cfg);
+    row.vs_colluder = (r.final_analysis.identified && r.mole_in_suspects)
+                          ? "CAUGHT (mole in suspects)"
+                          : "defeated";
+  }
+  return row;
+}
+
+// -------------------------------------------------------------- SPIE [9]
+
+Row spie_row(std::uint64_t seed) {
+  Row row;
+  row.approach = "spie-logging";
+  pnm::net::Topology topo = pnm::net::Topology::chain(kForwarders);
+  pnm::net::RoutingTable routing(topo, pnm::net::RoutingStrategy::kTree);
+  pnm::baselines::SpieConfig cfg;
+  std::vector<pnm::baselines::SpieNode> nodes(topo.node_count(),
+                                              pnm::baselines::SpieNode(cfg));
+  row.node_storage_bytes = nodes[1].filter().storage_bytes();
+
+  auto source = static_cast<pnm::NodeId>(kForwarders + 1);
+  pnm::net::BogusReportFactory factory(1, 1);
+  std::vector<pnm::Bytes> reports;
+  for (std::size_t i = 0; i < kPackets; ++i) {
+    pnm::Bytes report = factory.next().encode();
+    for (pnm::NodeId v : routing.path_to_sink(source))
+      if (v != pnm::kSinkId && v != source) nodes[v].log(report);
+    reports.push_back(std::move(report));
+  }
+
+  // Honest trace of one representative packet (SPIE traces per packet; a
+  // flow-level answer costs this once, assuming the first trace convinces).
+  auto honest = pnm::baselines::honest_oracle(nodes);
+  auto result = pnm::baselines::spie_trace(topo, reports.front(), honest);
+  row.control_messages = result.queries * 2;  // query + reply
+  bool found = result.completed &&
+               std::find(result.suspects.begin(), result.suspects.end(), source) !=
+                   result.suspects.end();
+  row.honest = found ? "identifies (1 pkt + queries)" : "failed";
+
+  // Colluding forwarder: denies having forwarded, and drops query/reply
+  // traffic for nodes upstream of it (queries route through the mole).
+  pnm::NodeId mole = routing.path_to_sink(source)[kForwarders / 2];
+  auto lying = [&](pnm::NodeId queried, pnm::ByteView report) {
+    if (queried == mole) return pnm::baselines::QueryAnswer::kNo;
+    // Replies from strictly-upstream nodes never arrive (mole drops them).
+    if (routing.hops_to_sink(queried) > routing.hops_to_sink(mole))
+      return pnm::baselines::QueryAnswer::kSilent;
+    return honest(queried, report);
+  };
+  auto attacked = pnm::baselines::spie_trace(topo, reports[1 % reports.size()], lying);
+  bool caught = attacked.completed &&
+                std::find(attacked.suspects.begin(), attacked.suspects.end(), mole) !=
+                    attacked.suspects.end();
+  (void)seed;
+  row.vs_colluder = caught ? "stalls AT the mole (chain-topology luck)"
+                           : "MISLED/BLIND (answers unverifiable)";
+  return row;
+}
+
+// ------------------------------------------------------------ itrace [2]
+
+Row itrace_row(std::uint64_t seed) {
+  Row row;
+  row.approach = "itrace-notify";
+  pnm::net::Topology topo = pnm::net::Topology::chain(kForwarders);
+  pnm::net::RoutingTable routing(topo, pnm::net::RoutingStrategy::kTree);
+  pnm::crypto::KeyStore keys(pnm::Bytes{0x17}, topo.node_count());
+  pnm::baselines::ItraceConfig cfg;
+  cfg.notify_probability = 3.0 / kForwarders;  // same budget as PNM's np=3
+  pnm::baselines::ItraceAgent agent(cfg);
+
+  auto run = [&](bool colluding_drop) {
+    pnm::Rng rng(seed + (colluding_drop ? 1 : 0));
+    pnm::net::BogusReportFactory factory(1, 1);
+    auto source = static_cast<pnm::NodeId>(kForwarders + 1);
+    auto path = routing.path_to_sink(source);
+    pnm::NodeId mole = path[kForwarders / 2];
+    pnm::NodeId v1 = path[1];
+
+    pnm::sink::OrderGraph graph;
+    std::size_t notifications_delivered = 0;
+    for (std::size_t i = 0; i < kPackets; ++i) {
+      pnm::Bytes report = factory.next().encode();
+      pnm::NodeId prev_notifier = pnm::kInvalidNode;
+      for (std::size_t h = 1; h + 1 < path.size(); ++h) {
+        pnm::NodeId v = path[h];  // walk source -> sink (path[0] is the source)
+        auto n = agent.maybe_notify(report, v, keys.key_unchecked(v), rng);
+        if (!n) continue;
+        // The notification routes through the remaining path; the colluding
+        // mole reads the plaintext reporter ID and drops V1's evidence.
+        bool passes_mole = routing.hops_to_sink(v) > routing.hops_to_sink(mole);
+        if (colluding_drop && passes_mole && n->reporter == v1) continue;
+        if (!pnm::baselines::verify_notification(*n, keys, cfg.mac_len)) continue;
+        ++notifications_delivered;
+        graph.observe(n->reporter);
+        if (prev_notifier != pnm::kInvalidNode) graph.add_order(prev_notifier, n->reporter);
+        prev_notifier = n->reporter;
+      }
+    }
+    auto analysis = pnm::sink::analyze_route(graph, topo);
+    return std::make_pair(analysis, notifications_delivered);
+  };
+
+  auto [honest_analysis, honest_notifications] = run(false);
+  row.control_messages = honest_notifications;
+  auto source = static_cast<pnm::NodeId>(kForwarders + 1);
+  bool honest_found =
+      honest_analysis.identified &&
+      std::find(honest_analysis.suspects.begin(), honest_analysis.suspects.end(),
+                source) != honest_analysis.suspects.end();
+  row.honest = honest_found ? "identifies (notification flood)" : "failed";
+
+  auto [attacked_analysis, _] = run(true);
+  pnm::NodeId mole = routing.path_to_sink(source)[kForwarders / 2];
+  bool caught = attacked_analysis.identified &&
+                std::find(attacked_analysis.suspects.begin(),
+                          attacked_analysis.suspects.end(),
+                          mole) != attacked_analysis.suspects.end();
+  row.vs_colluder =
+      caught ? "caught" : "MISLED (plaintext notifications selectively dropped)";
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = pnm::bench::parse_args(argc, argv);
+
+  Table t({"approach", "data overhead B/pkt", "node storage B", "control msgs",
+           "honest forwarders", "vs colluding forwarder"});
+  t.set_title("Related-work comparison (§8): 20-forwarder path, " +
+              std::to_string(kPackets) + "-packet bogus flow");
+  for (const Row& row : {pnm_row(args.seed), spie_row(args.seed), itrace_row(args.seed)}) {
+    t.add_row({row.approach, Table::num(row.data_overhead_bytes, 1),
+               Table::num(row.node_storage_bytes), Table::num(row.control_messages),
+               row.honest, row.vs_colluder});
+  }
+  pnm::bench::emit(t, args);
+
+  std::printf("paper's §8 argument, quantified: logging pays per-node storage and a "
+              "secured query/reply channel;\nnotification pays a parallel control "
+              "flow that a mole can selectively drop (plaintext IDs);\nPNM rides "
+              "inside the data packets — no storage, no control messages, and "
+              "tamper-evident marks\n");
+  return 0;
+}

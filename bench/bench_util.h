@@ -1,0 +1,48 @@
+// Shared helpers for the experiment harnesses: a tiny CLI (every bench
+// accepts `--runs N` / `--seed S` to scale statistical power) and consistent
+// output (ASCII table to stdout, optional CSV).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/table.h"
+
+namespace pnm::bench {
+
+struct BenchArgs {
+  std::size_t runs = 0;  ///< 0 = use the bench's default
+  std::uint64_t seed = 1;
+  bool csv = false;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      args.runs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      args.csv = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--runs N] [--seed S] [--csv]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+inline void emit(const Table& table, const BenchArgs& args) {
+  if (args.csv) {
+    std::fputs(table.csv().c_str(), stdout);
+  } else {
+    std::fputs(table.render().c_str(), stdout);
+  }
+  std::fputs("\n", stdout);
+}
+
+}  // namespace pnm::bench

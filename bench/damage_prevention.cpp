@@ -1,0 +1,101 @@
+// Headline claim (§1, §6.2, §9): "PNM can track down a mole 20 hops away from
+// the sink using only 50 packets. This essentially prevents effective data
+// injection attacks, as moles will be caught before they can inflict any
+// meaningful damages."
+//
+// This harness quantifies the damage an injection campaign inflicts under
+// four defense postures on a 20-forwarder path:
+//   none       — the mole injects its full budget unopposed;
+//   sef        — en-route filtering sheds packets after a few hops (passive:
+//                the mole is never punished and keeps injecting);
+//   pnm        — traceback catches and isolates the mole, ending the attack;
+//   pnm+catch  — same, also reporting the time-to-catch in seconds at the
+//                paper's ~30 pkt/s injection rate.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/campaign.h"
+#include "filter/sef.h"
+#include "util/stats.h"
+#include "net/energy.h"
+
+int main(int argc, char** argv) {
+  using pnm::Table;
+  auto args = pnm::bench::parse_args(argc, argv);
+  const std::size_t n = 20;
+  const std::size_t budget = args.runs ? args.runs : 2000;  // injection budget
+
+  Table t({"defense", "bogus injected", "bogus reaching sink", "network energy (mJ)",
+           "attack outcome", "time (s)"});
+  t.set_title("Damage from a false-data injection campaign, " + std::to_string(n) +
+              "-hop path, budget " + std::to_string(budget) + " packets");
+
+  // --- no defense: every packet burns the full path.
+  {
+    pnm::core::ChainExperimentConfig cfg;
+    cfg.forwarders = n;
+    cfg.packets = budget;
+    cfg.protocol.scheme = pnm::marking::SchemeKind::kNoMarking;
+    cfg.seed = args.seed;
+    auto r = pnm::core::run_chain_experiment(cfg);
+    t.add_row({"none", Table::num(r.packets_injected), Table::num(r.packets_delivered),
+               Table::num(r.total_energy_uj / 1000.0, 1), "mole injects forever",
+               Table::num(r.sim_duration_s, 1)});
+  }
+
+  // --- SEF only: analytic expected forwarding hops per bogus packet (mole
+  // owns one key partition), energy scaled accordingly; injection never stops.
+  {
+    pnm::filter::SefContext sef(pnm::Bytes{0x5e, 0xf0}, pnm::filter::SefParams{});
+    double hops = sef.expected_hops_travelled(/*owned=*/1, n + 1);
+    // Reference energy per full-path packet from the no-defense run shape:
+    // tx+rx per hop of a bare report (16 bytes), Mica2 costs.
+    pnm::net::EnergyModel em;
+    double per_hop_uj = 16.0 * (em.tx_uj_per_byte + em.rx_uj_per_byte);
+    double total_uj = static_cast<double>(budget) * hops * per_hop_uj;
+    double sink_frac = 1.0;
+    for (std::size_t h = 0; h <= n; ++h)
+      sink_frac *= (1.0 - sef.per_hop_drop_probability(1));
+    t.add_row({"sef", Table::num(budget),
+               Table::num(static_cast<std::size_t>(sink_frac * budget)),
+               Table::num(total_uj / 1000.0, 1),
+               "damage shed after ~" + Table::num(hops, 1) + " hops; mole uncaught",
+               "-"});
+  }
+
+  // --- PNM campaigns, averaged over several independent runs.
+  auto pnm_row = [&](const char* label, pnm::attack::AttackKind attack) {
+    const std::size_t campaigns = 10;
+    pnm::Accumulator injected, delivered, energy, time_s, caught;
+    std::size_t neutralized = 0;
+    for (std::size_t c = 0; c < campaigns; ++c) {
+      pnm::core::CatchCampaignConfig cfg;
+      cfg.field = pnm::core::FieldKind::kChain;
+      cfg.forwarders = n;
+      cfg.attack = attack;
+      cfg.max_packets = budget;
+      cfg.seed = args.seed + c * 101;
+      auto r = pnm::core::run_catch_campaign(cfg);
+      injected.add(static_cast<double>(r.total_bogus_injected));
+      delivered.add(static_cast<double>(r.total_bogus_delivered));
+      energy.add(r.total_energy_uj);
+      time_s.add(r.total_time_s);
+      caught.add(static_cast<double>(r.phases.size()));
+      if (r.attack_neutralized) ++neutralized;
+    }
+    std::string outcome = "avg " + Table::num(caught.mean(), 1) + " mole(s) caught; " +
+                          Table::num(neutralized) + "/" + Table::num(campaigns) +
+                          " campaigns neutralized";
+    t.add_row({label, Table::num(injected.mean(), 0), Table::num(delivered.mean(), 0),
+               Table::num(energy.mean() / 1000.0, 1), outcome,
+               Table::num(time_s.mean(), 1)});
+  };
+  pnm_row("pnm", pnm::attack::AttackKind::kSourceOnly);
+  pnm_row("pnm vs colluders", pnm::attack::AttackKind::kRemoval);
+
+  pnm::bench::emit(t, args);
+  std::printf("paper shape: with PNM the campaign dies after ~50 delivered packets "
+              "(20 hops), i.e. a tiny fraction of the\nno-defense energy bill; "
+              "filtering alone reduces per-packet damage but never ends the attack\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 4 reproduction (analytical): probability that the sink has collected
+// at least one mark from every one of the n forwarding nodes within L
+// packets, P(L) = (1-(1-p)^L)^n, with np fixed at 3 (p = 3/n).
+//
+// Paper anchors: 90% confidence at L ~ 13 / 33 / 54 for n = 10 / 20 / 30.
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using pnm::Table;
+  auto args = pnm::bench::parse_args(argc, argv);
+
+  const std::size_t lengths[] = {10, 20, 30};
+
+  Table curve({"packets(L)", "P(n=10)", "P(n=20)", "P(n=30)"});
+  curve.set_title("Fig. 4 — P[all marks collected within L packets], np = 3");
+  for (std::size_t L = 1; L <= 80; ++L) {
+    std::vector<std::string> row{Table::num(L)};
+    for (std::size_t n : lengths) {
+      double p = 3.0 / static_cast<double>(n);
+      row.push_back(Table::num(pnm::analysis::prob_all_marks_within(n, p, L), 4));
+    }
+    curve.add_row(std::move(row));
+  }
+  pnm::bench::emit(curve, args);
+
+  Table anchors({"path length n", "p", "L @ 90%", "L @ 99%", "paper L @ 90%"});
+  anchors.set_title("Fig. 4 anchors — packets for confidence");
+  const char* paper[] = {"13", "33", "54"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::size_t n = lengths[i];
+    double p = 3.0 / static_cast<double>(n);
+    anchors.add_row({Table::num(n), Table::num(p, 3),
+                     Table::num(pnm::analysis::packets_for_confidence(n, p, 0.90)),
+                     Table::num(pnm::analysis::packets_for_confidence(n, p, 0.99)),
+                     paper[i]});
+  }
+  pnm::bench::emit(anchors, args);
+  return 0;
+}

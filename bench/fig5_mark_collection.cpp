@@ -1,0 +1,74 @@
+// Figure 5 reproduction (simulation): average percentage of forwarding nodes
+// whose marks the sink has collected within the first x packets, for paths of
+// 10/20/30 nodes with np = 3.
+//
+// Paper anchors: 10-hop path — marks from ~9 nodes within 7 packets;
+// 90% coverage at ~14 packets (n=20) and ~22 packets (n=30).
+#include <cstdio>
+#include <vector>
+
+#include "analysis/models.h"
+#include "bench_util.h"
+#include "core/campaign.h"
+
+int main(int argc, char** argv) {
+  using pnm::Table;
+  auto args = pnm::bench::parse_args(argc, argv);
+  // Paper uses 5000 runs; default lower for a laptop-quick pass.
+  std::size_t runs = args.runs ? args.runs : 1000;
+
+  const std::size_t lengths[] = {10, 20, 30};
+  const std::size_t max_packets = 60;
+
+  // coverage[cfg][x] = sum over runs of (# markers seen after x packets).
+  std::vector<std::vector<double>> coverage(3, std::vector<double>(max_packets + 1, 0.0));
+
+  for (std::size_t li = 0; li < 3; ++li) {
+    std::size_t n = lengths[li];
+    for (std::size_t r = 0; r < runs; ++r) {
+      pnm::core::ChainExperimentConfig cfg;
+      cfg.forwarders = n;
+      cfg.packets = max_packets;
+      cfg.seed = args.seed * 1000003 + r * 7919 + li;
+      std::vector<std::size_t> per_packet(max_packets + 1, 0);
+      pnm::core::run_chain_experiment(
+          cfg, [&](std::size_t count, const pnm::sink::TracebackEngine& engine) {
+            if (count <= max_packets) per_packet[count] = engine.markers_seen().size();
+          });
+      // Carry forward (coverage is monotone; fill any gaps).
+      for (std::size_t x = 1; x <= max_packets; ++x)
+        per_packet[x] = std::max(per_packet[x], per_packet[x - 1]);
+      for (std::size_t x = 1; x <= max_packets; ++x)
+        coverage[li][x] += static_cast<double>(per_packet[x]);
+    }
+  }
+
+  Table t({"packets(x)", "%nodes n=10", "%nodes n=20", "%nodes n=30"});
+  t.set_title("Fig. 5 — avg % of nodes whose marks are collected in first x packets (" +
+              std::to_string(runs) + " runs, np=3)");
+  for (std::size_t x = 1; x <= max_packets; ++x) {
+    std::vector<std::string> row{Table::num(x)};
+    for (std::size_t li = 0; li < 3; ++li) {
+      double pct = 100.0 * coverage[li][x] /
+                   (static_cast<double>(runs) * static_cast<double>(lengths[li]));
+      row.push_back(Table::num(pct, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  pnm::bench::emit(t, args);
+
+  Table anchors({"metric", "measured", "paper"});
+  anchors.set_title("Fig. 5 anchors");
+  double n10_at7 = coverage[0][7] / static_cast<double>(runs);
+  anchors.add_row({"nodes collected, n=10, 7 packets", Table::num(n10_at7, 2), "~9"});
+  auto first_x_at = [&](std::size_t li, double frac) -> std::size_t {
+    double target = frac * static_cast<double>(lengths[li]) * static_cast<double>(runs);
+    for (std::size_t x = 1; x <= max_packets; ++x)
+      if (coverage[li][x] >= target) return x;
+    return max_packets;
+  };
+  anchors.add_row({"packets to 90% coverage, n=20", Table::num(first_x_at(1, 0.9)), "~14"});
+  anchors.add_row({"packets to 90% coverage, n=30", Table::num(first_x_at(2, 0.9)), "~22"});
+  pnm::bench::emit(anchors, args);
+  return 0;
+}

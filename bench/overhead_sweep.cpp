@@ -1,0 +1,90 @@
+// §4 overhead comparison: per-packet mark overhead of deterministic nested
+// marking (n marks — "in large sensor networks this is not efficient")
+// versus PNM (np ~ 3 marks regardless of path length), measured on the wire
+// by the simulator and checked against the closed-form expectation.
+#include <cstdio>
+
+#include "analysis/models.h"
+#include "bench_util.h"
+#include "core/campaign.h"
+#include "core/protocol.h"
+#include "crypto/keys.h"
+#include "net/simulator.h"
+#include "util/stats.h"
+
+namespace {
+
+struct Overhead {
+  double marks;
+  double mark_bytes;
+  double wire_bytes;
+  double cpu_fraction;  ///< marking CPU energy / total network energy
+};
+
+Overhead measure(pnm::marking::SchemeKind kind, std::size_t n, std::size_t packets,
+                 std::uint64_t seed) {
+  namespace core = pnm::core;
+  pnm::net::Topology topo = pnm::net::Topology::chain(n);
+  pnm::net::RoutingTable routing(topo, pnm::net::RoutingStrategy::kTree);
+  pnm::crypto::KeyStore keys(pnm::Bytes{0x42}, topo.node_count());
+
+  core::PnmConfig protocol;
+  protocol.scheme = kind;
+  auto scheme = pnm::marking::make_scheme(kind, protocol.scheme_config(n));
+  auto scenario = pnm::attack::make_scenario(pnm::attack::AttackKind::kSourceOnly, topo,
+                                             routing, static_cast<pnm::NodeId>(n + 1), 0);
+
+  pnm::net::Simulator sim(topo, routing, pnm::net::LinkModel{}, pnm::net::EnergyModel{},
+                          seed);
+  core::Deployment deployment(sim, *scheme, keys, scenario, seed ^ 0xABCD);
+  deployment.install();
+
+  pnm::Accumulator marks, mark_bytes, wire;
+  sim.set_sink_handler([&](pnm::net::Packet&& p, double) {
+    marks.add(static_cast<double>(p.marks.size()));
+    std::size_t mb = 0;
+    for (const auto& m : p.marks) mb += m.id_field.size() + m.mac.size() + 2;
+    mark_bytes.add(static_cast<double>(mb));
+    wire.add(static_cast<double>(p.wire_size()));
+  });
+  for (std::size_t i = 0; i < packets; ++i) deployment.inject_bogus();
+  sim.run();
+  double cpu = 0.0;
+  for (pnm::NodeId v = 0; v < topo.node_count(); ++v)
+    cpu += sim.energy().node_cpu_energy_uj(v);
+  double total = sim.energy().total_energy_uj();
+  return Overhead{marks.mean(), mark_bytes.mean(), wire.mean(),
+                  total > 0 ? cpu / total : 0.0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using pnm::Table;
+  auto args = pnm::bench::parse_args(argc, argv);
+  std::size_t packets = args.runs ? args.runs : 400;
+
+  Table t({"path n", "scheme", "marks/pkt", "mark bytes/pkt", "wire bytes/pkt",
+           "E[marks] model", "CPU share of energy"});
+  t.set_title("Per-packet mark overhead: deterministic nested vs PNM (np=3), " +
+              std::to_string(packets) + " packets");
+
+  for (std::size_t n : {5u, 10u, 20u, 30u, 50u}) {
+    for (auto kind : {pnm::marking::SchemeKind::kNested, pnm::marking::SchemeKind::kPnm}) {
+      Overhead o = measure(kind, n, packets, args.seed + n);
+      double p = kind == pnm::marking::SchemeKind::kNested
+                     ? 1.0
+                     : std::min(1.0, 3.0 / static_cast<double>(n));
+      t.add_row({Table::num(n), std::string(pnm::marking::scheme_kind_name(kind)),
+                 Table::num(o.marks, 2), Table::num(o.mark_bytes, 1),
+                 Table::num(o.wire_bytes, 1),
+                 Table::num(pnm::analysis::expected_marks_per_packet(n, p), 2),
+                 Table::num(100.0 * o.cpu_fraction, 2) + "%"});
+    }
+  }
+  pnm::bench::emit(t, args);
+
+  std::printf("paper shape: nested overhead grows linearly with n; PNM stays flat at "
+              "~3 marks (np tunable)\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// §4.2 sink-feasibility microbenchmarks (google-benchmark): the paper argues
+// the anonymous-ID search is affordable because the sink can hash millions of
+// times per second, so building a per-report table for a few-thousand-node
+// network costs milliseconds and verification throughput far exceeds the
+// ~50 pkt/s sensor radio ceiling. Measured here:
+//
+//   BM_HmacSha256        — raw keyed-hash rate (the paper's 2.5 M/s figure
+//                          was an Athlon 1.6 GHz);
+//   BM_AnonTableBuild    — per-report table construction vs network size;
+//   BM_VerifyPacketPnm   — full packet verification (table + backward pass);
+//   BM_ScopedLookup      — the §7 O(d) topology-scoped alternative;
+//   BM_VerifyPacketNested— plaintext nested verification for contrast.
+#include <benchmark/benchmark.h>
+
+#include "crypto/anon_id.h"
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "marking/scheme.h"
+#include "net/report.h"
+#include "net/topology.h"
+#include "sink/anon_lookup.h"
+#include "util/rng.h"
+
+namespace {
+
+pnm::Bytes master() { return pnm::Bytes{0xaa, 0xbb, 0xcc}; }
+
+void BM_HmacSha256(benchmark::State& state) {
+  pnm::Bytes key(16, 0x5a);
+  pnm::Bytes msg(static_cast<std::size_t>(state.range(0)), 0x77);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pnm::crypto::hmac_sha256(key, msg));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HmacSha256)->Arg(32)->Arg(128);
+
+void BM_AnonTableBuild(benchmark::State& state) {
+  std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  pnm::crypto::KeyStore keys(master(), nodes);
+  pnm::Bytes report = pnm::net::Report{1, 2, 3, 4}.encode();
+  for (auto _ : state) {
+    pnm::sink::AnonIdTable table(keys, report, 2);
+    benchmark::DoNotOptimize(table.distinct_ids());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_AnonTableBuild)->Arg(100)->Arg(1000)->Arg(4000);
+
+// Build one marked packet along a chain path for verification benchmarks.
+pnm::net::Packet marked_packet(const pnm::marking::MarkingScheme& scheme,
+                               const pnm::crypto::KeyStore& keys, std::size_t hops) {
+  pnm::Rng rng(42);
+  pnm::net::Packet p;
+  p.report = pnm::net::Report{9, 9, 9, 9}.encode();
+  for (std::size_t h = 1; h <= hops; ++h) {
+    auto v = static_cast<pnm::NodeId>(h);
+    scheme.mark(p, v, keys.key_unchecked(v), rng);
+  }
+  return p;
+}
+
+void BM_VerifyPacketPnm(benchmark::State& state) {
+  std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  std::size_t hops = static_cast<std::size_t>(state.range(1));
+  pnm::crypto::KeyStore keys(master(), nodes);
+  pnm::marking::SchemeConfig cfg;
+  cfg.mark_probability = 3.0 / static_cast<double>(hops);
+  auto scheme = pnm::marking::make_scheme(pnm::marking::SchemeKind::kPnm, cfg);
+  pnm::net::Packet p = marked_packet(*scheme, keys, hops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->verify(p, keys));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["pkts_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VerifyPacketPnm)
+    ->Args({100, 20})
+    ->Args({1000, 20})
+    ->Args({4000, 20})
+    ->Args({1000, 50});
+
+void BM_VerifyPacketNested(benchmark::State& state) {
+  std::size_t hops = static_cast<std::size_t>(state.range(0));
+  pnm::crypto::KeyStore keys(master(), hops + 2);
+  auto scheme =
+      pnm::marking::make_scheme(pnm::marking::SchemeKind::kNested, {});
+  pnm::net::Packet p = marked_packet(*scheme, keys, hops);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->verify(p, keys));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VerifyPacketNested)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_ScopedLookup(benchmark::State& state) {
+  // §7: restrict the anon-ID search to the previous hop's neighborhood; cost
+  // is O(degree) hashes instead of O(network).
+  pnm::net::Topology topo = pnm::net::Topology::grid(40, 40, 1.5);
+  pnm::crypto::KeyStore keys(master(), topo.node_count());
+  pnm::Bytes report = pnm::net::Report{5, 5, 5, 5}.encode();
+  pnm::NodeId previous = 820;  // interior node, degree 8
+  pnm::NodeId marker = topo.neighbors(previous).front();
+  pnm::Bytes anon = pnm::crypto::anon_id(keys.key_unchecked(marker), report, marker, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pnm::sink::scoped_candidates(keys, topo, previous, report, anon, 2));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScopedLookup);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Colluding-attack demo: §3 of the paper as a runnable story.
+//
+// Two moles cooperate: S injects bogus reports from 10 hops out, and X — a
+// compromised forwarder halfway down the path — manipulates marks to cover
+// for S. The same attack plays against three marking schemes:
+//
+//   extended-ams       : per-mark MACs; X surgically removes the marks of
+//                        S's first forwarder -> the sink accuses innocents;
+//   naive-prob-nested  : nested MACs but plaintext IDs; X selectively drops
+//                        packets whose marks would expose S -> innocents;
+//   pnm                : nested MACs + anonymous IDs -> X is blind, and any
+//                        tampering pins the trace to X's own neighborhood.
+//
+//   $ ./colluding_attack_demo
+#include <algorithm>
+#include <cstdio>
+
+#include "core/campaign.h"
+
+namespace {
+
+void play(pnm::marking::SchemeKind scheme, pnm::attack::AttackKind attack,
+          const char* commentary) {
+  pnm::core::ChainExperimentConfig cfg;
+  cfg.forwarders = 10;
+  cfg.packets = 300;
+  cfg.protocol.scheme = scheme;
+  cfg.attack = attack;
+  cfg.seed = 7;
+  auto r = pnm::core::run_chain_experiment(cfg);
+
+  std::printf("--- scheme: %-18s attack: %s\n",
+              std::string(pnm::marking::scheme_kind_name(scheme)).c_str(),
+              std::string(pnm::attack::attack_kind_name(attack)).c_str());
+  std::printf("    moles: source=%u forwarder=%u   (V1, the honest first "
+              "forwarder, is node %u)\n",
+              r.moles[0], r.moles.size() > 1 ? r.moles[1] : pnm::kInvalidNode, r.v1);
+
+  if (r.packets_delivered == 0) {
+    std::printf("    outcome: the mole dropped every packet — no traceback, but "
+                "also zero attack traffic\n");
+  } else if (!r.final_analysis.identified) {
+    std::printf("    outcome: sink never reached an unequivocal identification "
+                "(%zu packets seen)\n",
+                r.packets_delivered);
+  } else {
+    std::printf("    sink's verdict: most upstream = node %u, suspects = {",
+                r.final_analysis.stop_node);
+    for (std::size_t i = 0; i < r.final_analysis.suspects.size(); ++i)
+      std::printf("%s%u", i ? ", " : "", r.final_analysis.suspects[i]);
+    std::printf("}\n");
+    if (r.mole_in_suspects) {
+      std::printf("    outcome: CAUGHT — a real mole is inside the suspect "
+                  "neighborhood (after %zu packets)\n",
+                  r.packets_to_identify.value_or(0));
+    } else {
+      std::printf("    outcome: MISLED — every suspect is innocent; the moles "
+                  "walk free\n");
+    }
+  }
+  std::printf("    %s\n\n", commentary);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Colluding moles vs three marking schemes (10-hop path, 300 bogus "
+              "packets)\n\n");
+
+  play(pnm::marking::SchemeKind::kExtendedAms, pnm::attack::AttackKind::kRemoval,
+       "AMS marks verify independently, so X can delete V1's mark and leave the "
+       "rest valid:\n    the surviving marks point at V2 — an innocent node (the "
+       "paper's §3 example).");
+
+  play(pnm::marking::SchemeKind::kNaiveProbNested, pnm::attack::AttackKind::kSelectiveDrop,
+       "nested MACs stop tampering, but plaintext IDs let X read who marked each "
+       "packet and drop\n    exactly those that would expose V1 — the surviving "
+       "sample traces to an innocent (§4.2).");
+
+  play(pnm::marking::SchemeKind::kPnm, pnm::attack::AttackKind::kSelectiveDrop,
+       "PNM anonymizes the IDs: X cannot tell which packets to drop, the full "
+       "path sample survives,\n    and the trace lands on V1 — whose one-hop "
+       "neighborhood contains S.");
+
+  play(pnm::marking::SchemeKind::kPnm, pnm::attack::AttackKind::kRemovalBlind,
+       "if X tampers blindly instead (stripping whatever marks it sees), every "
+       "mark it touches\n    invalidates the nested chain behind it and the "
+       "trace stops at X's own successor —\n    the mole burns itself "
+       "(Theorem 2).");
+
+  std::printf("summary: any portion of a mark left unprotected (AMS) or readable "
+              "(naive) is an attack\nsurface; nested MACs + anonymous IDs close "
+              "both. That is Theorem 3's necessity argument in action.\n");
+  return 0;
+}

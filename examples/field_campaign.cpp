@@ -1,0 +1,109 @@
+// Field campaign: the full operational loop on a 2-D deployment.
+//
+// A 10x10 grid field with tree routing. A colluding pair — source mole in the
+// far corner, mark-removing forwarder on its path — floods the sink. The
+// defender runs PNM, and each time the traceback stabilizes it dispatches an
+// inspection, isolates the confirmed mole, lets routing heal around it, and
+// keeps listening. The campaign ends when the attack is dead.
+//
+//   $ ./field_campaign
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/campaign.h"
+
+namespace {
+
+/// ASCII map of the field: S = sink, M = mole still active, X = mole caught,
+/// . = honest node.
+void print_field(std::size_t w, std::size_t h, const std::vector<pnm::NodeId>& moles,
+                 const std::vector<pnm::NodeId>& caught) {
+  auto find = [](const std::vector<pnm::NodeId>& v, pnm::NodeId id) {
+    return std::find(v.begin(), v.end(), id) != v.end();
+  };
+  for (std::size_t row = h; row-- > 0;) {
+    std::string line = "  ";
+    for (std::size_t col = 0; col < w; ++col) {
+      auto id = static_cast<pnm::NodeId>(row * w + col);
+      char c = '.';
+      if (id == pnm::kSinkId) c = 'S';
+      else if (find(caught, id)) c = 'X';
+      else if (find(moles, id)) c = 'M';
+      line += c;
+      line += ' ';
+    }
+    std::printf("%s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  pnm::core::CatchCampaignConfig cfg;
+  cfg.field = pnm::core::FieldKind::kGrid;
+  cfg.grid_width = 10;
+  cfg.grid_height = 10;
+  cfg.grid_range = 1.6;
+  cfg.protocol.scheme = pnm::marking::SchemeKind::kPnm;
+  cfg.attack = pnm::attack::AttackKind::kRemoval;
+  cfg.max_packets = 6000;
+  cfg.seed = 1234;
+
+  std::printf("field: %zux%zu grid, sink at the corner, source mole at the "
+              "opposite corner,\n       a mark-removing accomplice on the "
+              "forwarding path\n\n",
+              cfg.grid_width, cfg.grid_height);
+
+  pnm::core::CatchCampaignResult r = pnm::core::run_catch_campaign(cfg);
+
+  // The colluders: source in the far corner, accomplice mid-path. Recompute
+  // them exactly as the campaign driver does, so the map shows any mole
+  // still at large.
+  pnm::net::Topology topo =
+      pnm::net::Topology::grid(cfg.grid_width, cfg.grid_height, cfg.grid_range);
+  pnm::net::RoutingTable routing(topo, pnm::net::RoutingStrategy::kTree);
+  auto source = static_cast<pnm::NodeId>(topo.node_count() - 1);
+  auto path = routing.path_to_sink(source);
+  std::size_t hops = path.size() - 2;
+  std::vector<pnm::NodeId> moles{source, path[hops / 2 + 1]};
+  std::vector<pnm::NodeId> caught;
+  for (const auto& phase : r.phases) caught.push_back(phase.caught);
+
+  std::printf("field map after the campaign (S sink, M mole at large, X caught):\n");
+  print_field(cfg.grid_width, cfg.grid_height, moles, caught);
+  std::printf("\n");
+
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    const auto& phase = r.phases[i];
+    std::printf("phase %zu:\n", i + 1);
+    std::printf("  bogus packets the sink had to absorb : %zu\n", phase.bogus_delivered);
+    std::printf("  traceback outcome                    : %s\n",
+                phase.via_loop ? "loop junction (identity anomaly)"
+                               : "most-upstream neighborhood");
+    std::printf("  caught & isolated                    : node %u (%zu "
+                "inspection%s%s)\n",
+                phase.caught, phase.inspections, phase.inspections == 1 ? "" : "s",
+                phase.wasted_inspections
+                    ? (", " + std::to_string(phase.wasted_inspections) +
+                       " wasted on a premature estimate")
+                          .c_str()
+                    : "");
+    std::printf("  phase cost: %.1f mJ of network energy, %.1f s\n\n",
+                phase.energy_uj / 1000.0, phase.duration_s);
+  }
+
+  std::printf("campaign result: %s\n",
+              r.all_moles_caught      ? "every mole caught"
+              : r.attack_neutralized  ? "remaining moles cut off from the sink"
+                                      : "budget exhausted with the attack alive");
+  std::printf("  total bogus injected/delivered : %zu / %zu\n", r.total_bogus_injected,
+              r.total_bogus_delivered);
+  std::printf("  total network energy           : %.1f mJ over %.1f s\n",
+              r.total_energy_uj / 1000.0, r.total_time_s);
+  std::printf("\ncontrast: with no traceback the same source injecting %zu packets "
+              "would burn the\npath's energy indefinitely and the sink could only "
+              "filter, never fight back.\n",
+              cfg.max_packets);
+  return r.attack_neutralized ? 0 : 1;
+}

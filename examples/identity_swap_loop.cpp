@@ -1,0 +1,76 @@
+// Identity-swapping demo: Figure 2 of the paper, reconstructed live.
+//
+// Source mole S and forwarding mole X know each other's keys. S sometimes
+// marks its own injections as X; X sometimes leaves valid marks claiming S.
+// The sink's order matrix then contains contradictions — S appears both
+// upstream and downstream of the nodes between them — which surface as a LOOP
+// in the reconstructed route. The sink detects the loop, finds where it meets
+// the loop-free "line" to the sink, and suspects that junction's one-hop
+// neighborhood, which provably contains a mole (Theorem 4).
+//
+//   $ ./identity_swap_loop
+#include <algorithm>
+#include <cstdio>
+
+#include "core/campaign.h"
+#include "sink/catcher.h"
+
+int main() {
+  pnm::core::ChainExperimentConfig cfg;
+  cfg.forwarders = 10;
+  cfg.packets = 600;
+  cfg.protocol.scheme = pnm::marking::SchemeKind::kPnm;
+  cfg.attack = pnm::attack::AttackKind::kIdentitySwap;
+  cfg.forwarder_offset = 5;  // X sits 5 hops below S
+  cfg.seed = 99;
+
+  std::printf("chain: sink(0) <- V1..V10 <- S(11); X is 5 hops below S\n");
+  std::printf("S and X swap identities on a fraction of their marks...\n\n");
+
+  bool loop_announced = false;
+  auto r = pnm::core::run_chain_experiment(
+      cfg, [&](std::size_t count, const pnm::sink::TracebackEngine& engine) {
+        if (!loop_announced && engine.graph().has_loop()) {
+          loop_announced = true;
+          std::printf("after %zu packets the order matrix turned CYCLIC — "
+                      "impossible under stable routing\nwith honest nodes; "
+                      "identity swapping detected.\n\n",
+                      count);
+        }
+      });
+
+  if (!r.final_analysis.identified) {
+    std::printf("not yet unequivocal after %zu packets; run with more traffic\n",
+                r.packets_delivered);
+    return 1;
+  }
+
+  std::printf("reconstruction (after %zu packets):\n", r.packets_delivered);
+  std::printf("  loop nodes   : {");
+  auto loop = r.final_analysis.loop;
+  std::sort(loop.begin(), loop.end());
+  for (std::size_t i = 0; i < loop.size(); ++i)
+    std::printf("%s%u", i ? ", " : "", loop[i]);
+  std::printf("}   <- S, X and every node between them\n");
+  std::printf("  line head    : node %u (where the loop meets the path to the "
+              "sink)\n",
+              r.final_analysis.stop_node);
+  std::printf("  suspects     : {");
+  for (std::size_t i = 0; i < r.final_analysis.suspects.size(); ++i)
+    std::printf("%s%u", i ? ", " : "", r.final_analysis.suspects[i]);
+  std::printf("}\n");
+  std::printf("  ground truth : moles are S=%u and X=%u\n", r.moles[0], r.moles[1]);
+
+  auto outcome = pnm::sink::resolve_catch(r.final_analysis, r.moles);
+  if (outcome) {
+    std::printf("\ninspecting the junction neighborhood finds mole %u after %zu "
+                "inspection%s.\n",
+                outcome->mole, outcome->inspections,
+                outcome->inspections == 1 ? "" : "s");
+    std::printf("(isolate it, re-run traceback, and the remaining mole falls "
+                "next — see field_campaign)\n");
+    return 0;
+  }
+  std::printf("\nunexpected: no mole at the junction\n");
+  return 1;
+}

@@ -1,0 +1,101 @@
+// Multi-source hunt: several moles inject concurrently (§9 future work).
+//
+// Three source moles in different regions of a grid field flood the sink at
+// once. Pooled into one reconstruction their paths superimpose and nothing
+// is unequivocal — the sink instead partitions the suspicious traffic into
+// flows by claimed origin location, runs one traceback per flow, and bags
+// the moles one after another.
+//
+//   $ ./multi_source_hunt
+#include <algorithm>
+#include <cstdio>
+
+#include "crypto/keys.h"
+#include "marking/scheme.h"
+#include "net/simulator.h"
+#include "sink/catcher.h"
+#include "sink/flow_tracker.h"
+#include "sink/traceback.h"
+
+int main() {
+  using namespace pnm;
+
+  net::Topology topo = net::Topology::grid(9, 9, 1.1);
+  net::RoutingTable routing(topo, net::RoutingStrategy::kTree);
+  crypto::KeyStore keys(Bytes{0x4d, 0x30}, topo.node_count());
+
+  // Three moles in three corners/edges of the field.
+  std::vector<NodeId> moles{static_cast<NodeId>(topo.node_count() - 1),  // (8,8)
+                            8,                                            // (8,0)
+                            static_cast<NodeId>(9 * 8)};                  // (0,8)
+
+  std::size_t longest = 0;
+  for (NodeId m : moles) longest = std::max(longest, routing.hops_to_sink(m));
+  marking::SchemeConfig cfg;
+  cfg.mark_probability = std::min(1.0, 3.0 / static_cast<double>(longest - 1));
+  auto scheme = marking::make_scheme(marking::SchemeKind::kPnm, cfg);
+
+  net::Simulator sim(topo, routing, net::LinkModel{}, net::EnergyModel{}, 606);
+  for (NodeId v = 1; v < topo.node_count(); ++v) {
+    Rng node_rng(8000 + v);
+    sim.set_node_handler(v, [&, node_rng](net::Packet&& p, NodeId self) mutable {
+      if (std::find(moles.begin(), moles.end(), self) == moles.end())
+        scheme->mark(p, self, keys.key_unchecked(self), node_rng);
+      return std::optional<net::Packet>{std::move(p)};
+    });
+  }
+
+  sink::FlowTracker tracker(*scheme, keys, topo);
+  sink::TracebackEngine pooled(*scheme, keys, topo);
+  sim.set_sink_handler([&](net::Packet&& p, double) {
+    tracker.ingest(p);
+    pooled.ingest(p);
+  });
+
+  std::printf("three moles inject 250 bogus reports each, concurrently...\n\n");
+  std::vector<net::BogusReportFactory> factories;
+  for (NodeId m : moles) {
+    const auto& pos = topo.position(m);
+    factories.emplace_back(static_cast<std::uint16_t>(pos.x),
+                           static_cast<std::uint16_t>(pos.y));
+  }
+  for (int i = 0; i < 250; ++i) {
+    for (std::size_t k = 0; k < moles.size(); ++k) {
+      net::Packet p;
+      p.report = factories[k].next().encode();
+      p.true_source = moles[k];
+      p.bogus = true;
+      sim.inject(moles[k], std::move(p));
+    }
+  }
+  sim.run();
+
+  std::printf("pooled reconstruction (everything in one order graph): %s\n\n",
+              pooled.analysis().identified
+                  ? "identified (would be luck, not method)"
+                  : "AMBIGUOUS — superimposed paths have several most-upstream nodes");
+
+  std::printf("flow-separated reconstruction (%zu flows):\n", tracker.flow_count());
+  std::size_t bagged = 0;
+  for (const auto& flow : tracker.summaries()) {
+    std::printf("  flow claiming origin (%u,%u): %zu packets — ", flow.loc_x,
+                flow.loc_y, flow.packets);
+    if (!flow.analysis.identified) {
+      std::printf("not yet unequivocal\n");
+      continue;
+    }
+    auto outcome = sink::resolve_catch(flow.analysis, moles);
+    if (outcome) {
+      ++bagged;
+      std::printf("stop node %u, inspection finds MOLE %u\n",
+                  flow.analysis.stop_node, outcome->mole);
+    } else {
+      std::printf("stop node %u, neighborhood clean (?)\n", flow.analysis.stop_node);
+    }
+  }
+  std::printf("\n%zu of %zu moles bagged. Flow separation is what makes multiple\n"
+              "simultaneous injectors tractable — each flow is a clean single-source\n"
+              "traceback, the case the paper's theorems cover.\n",
+              bagged, moles.size());
+  return bagged == moles.size() ? 0 : 1;
+}

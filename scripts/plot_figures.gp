@@ -1,0 +1,35 @@
+# Regenerate the paper's figures as PNGs from the benches' --csv output.
+#
+#   build/bench/fig4_collection_probability --csv > results/fig4.csv
+#   build/bench/fig5_mark_collection --csv        > results/fig5.csv
+#   build/bench/fig7_packets_to_identify --csv    > results/fig7.csv
+#   gnuplot scripts/plot_figures.gp
+#
+# (The CSVs contain two tables for fig4/fig5; gnuplot stops at the blank
+# line, which is exactly the curve table.)
+set datafile separator ','
+set terminal pngcairo size 900,600
+set key left top
+
+set output 'results/fig4.png'
+set title 'Fig. 4 — P[all marks collected within L packets], np = 3'
+set xlabel 'packets received (L)'
+set ylabel 'probability'
+plot 'results/fig4.csv' using 1:2 every ::1 with lines lw 2 title 'n=10', \
+     ''                 using 1:3 every ::1 with lines lw 2 title 'n=20', \
+     ''                 using 1:4 every ::1 with lines lw 2 title 'n=30'
+
+set output 'results/fig5.png'
+set title 'Fig. 5 — % of nodes whose marks are collected in first x packets'
+set xlabel 'packets received (x)'
+set ylabel '% of forwarding nodes'
+plot 'results/fig5.csv' using 1:2 every ::1 with lines lw 2 title 'n=10', \
+     ''                 using 1:3 every ::1 with lines lw 2 title 'n=20', \
+     ''                 using 1:4 every ::1 with lines lw 2 title 'n=30'
+
+set output 'results/fig7.png'
+set title 'Fig. 7 — packets to unequivocally identify the source'
+set xlabel 'path length (forwarding nodes)'
+set ylabel 'packets'
+plot 'results/fig7.csv' using 1:2 every ::1 with linespoints lw 2 title 'measured mean', \
+     ''                 using 1:6 every ::1 with lines dashtype 2 title 'pair bound 1/p^2'

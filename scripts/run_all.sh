@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Reproduce everything: build, run the full test suite, regenerate every
+# paper figure/table, and run the examples. Results land in results/.
+#
+#   scripts/run_all.sh [--quick]
+#
+# --quick lowers the statistical power of the slow sweeps (figs 5-7) so a
+# full pass finishes in a couple of minutes on one core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK=0
+[[ "${1:-}" == "--quick" ]] && QUICK=1
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build --output-on-failure 2>&1 | tee results/tests.txt
+
+runs5=1000; runs6=100; runs7=300
+if [[ $QUICK == 1 ]]; then runs5=200; runs6=30; runs7=60; fi
+
+run() { echo "== $1 =="; shift; "$@" 2>&1 | tee "results/$1.txt"; }
+
+run fig4 build/bench/fig4_collection_probability
+run fig5 build/bench/fig5_mark_collection --runs "$runs5"
+run fig6 build/bench/fig6_identification_failures --runs "$runs6"
+run fig7 build/bench/fig7_packets_to_identify --runs "$runs7"
+run attack_matrix build/bench/table_attack_matrix
+run overhead build/bench/overhead_sweep
+run damage build/bench/damage_prevention
+run ablations build/bench/ablation_design_choices
+run baselines build/bench/baseline_comparison
+run congestion build/bench/congestion_impact
+run sink_throughput build/bench/sink_throughput --benchmark_min_time=0.2
+
+for example in quickstart colluding_attack_demo identity_swap_loop \
+               field_campaign multi_source_hunt; do
+  run "example_$example" "build/examples/$example"
+done
+
+echo "all outputs in results/"

@@ -1,0 +1,193 @@
+#include "attack/attacks.h"
+
+#include <algorithm>
+
+#include "marking/mark.h"
+
+namespace pnm::attack {
+
+namespace {
+
+/// Decode a mark's plaintext node ID — only meaningful for schemes that put
+/// real IDs on the wire. Anonymous IDs decode to *some* 16-bit value, so the
+/// caller must gate on scheme->plaintext_ids(); a mole knows the protocol in
+/// force and does not waste effort reading anonymized fields.
+std::optional<NodeId> readable_id(const MoleContext& ctx, const net::Mark& m) {
+  if (!ctx.scheme->plaintext_ids()) return std::nullopt;
+  return marking::decode_id(m.id_field);
+}
+
+bool contains(const std::vector<NodeId>& v, NodeId id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+}  // namespace
+
+ForwardAction InsertionMole::on_forward(net::Packet& p, MoleContext& ctx) {
+  for (std::size_t i = 0; i < per_packet_; ++i) {
+    NodeId victim = frame_ids_.empty()
+                        ? static_cast<NodeId>(1 + ctx.rng->next_below(1000))
+                        : frame_ids_[i % frame_ids_.size()];
+    // The adversary lacks the victim's key: forge the mark shape, guess the
+    // MAC. (If the victim were a colluder it could forge validly — but that
+    // would name a mole, which is self-defeating.)
+    net::Mark fake;
+    fake.id_field = marking::encode_id(victim);
+    if (!ctx.scheme->plaintext_ids()) {
+      // Mimic the anonymous-ID width so the mark at least parses.
+      fake.id_field.resize(ctx.scheme->config().anon_len);
+      for (auto& b : fake.id_field) b = static_cast<std::uint8_t>(ctx.rng->next_below(256));
+    }
+    if (ctx.scheme->marks_carry_macs()) {
+      fake.mac.resize(ctx.scheme->config().mac_len);
+      for (auto& b : fake.mac) b = static_cast<std::uint8_t>(ctx.rng->next_below(256));
+    }
+    p.marks.push_back(std::move(fake));
+  }
+  return ForwardAction::kForward;
+}
+
+ForwardAction RemovalMole::on_forward(net::Packet& p, MoleContext& ctx) {
+  switch (policy_) {
+    case RemovalPolicy::kAll:
+      p.marks.clear();
+      break;
+    case RemovalPolicy::kFirstK: {
+      std::size_t k = std::min(k_, p.marks.size());
+      p.marks.erase(p.marks.begin(), p.marks.begin() + static_cast<std::ptrdiff_t>(k));
+      break;
+    }
+    case RemovalPolicy::kTargetIds: {
+      auto is_target = [&](const net::Mark& m) {
+        auto id = readable_id(ctx, m);
+        return id && contains(targets_, *id);
+      };
+      std::erase_if(p.marks, is_target);
+      break;
+    }
+  }
+  return ForwardAction::kForward;
+}
+
+ForwardAction ReorderMole::on_forward(net::Packet& p, MoleContext& ctx) {
+  ctx.rng->shuffle(p.marks);
+  return ForwardAction::kForward;
+}
+
+ForwardAction AlterMole::on_forward(net::Packet& p, MoleContext& ctx) {
+  auto corrupt = [](net::Mark& m) {
+    if (!m.mac.empty()) m.mac[0] ^= 0x01;
+    else if (!m.id_field.empty()) m.id_field[0] ^= 0x01;
+  };
+  switch (policy_) {
+    case AlterPolicy::kFirst:
+      if (!p.marks.empty()) corrupt(p.marks.front());
+      break;
+    case AlterPolicy::kAll:
+      for (auto& m : p.marks) corrupt(m);
+      break;
+    case AlterPolicy::kTargetIds:
+      for (auto& m : p.marks) {
+        auto id = readable_id(ctx, m);
+        if (id && contains(targets_, *id)) corrupt(m);
+      }
+      break;
+  }
+  return ForwardAction::kForward;
+}
+
+ForwardAction SelectiveDropMole::on_forward(net::Packet& p, MoleContext& ctx) {
+  switch (policy_) {
+    case DropPolicy::kTargetIds:
+      for (const auto& m : p.marks) {
+        auto id = readable_id(ctx, m);
+        if (id && contains(targets_, *id)) return ForwardAction::kDrop;
+      }
+      return ForwardAction::kForward;
+    case DropPolicy::kAnyMarked:
+      return p.marks.empty() ? ForwardAction::kForward : ForwardAction::kDrop;
+  }
+  return ForwardAction::kForward;
+}
+
+ForwardAction IdentitySwapForwarder::on_forward(net::Packet& p, MoleContext& ctx) {
+  if (ctx.rng->chance(claim_peer_prob_)) {
+    if (const Bytes* peer_key = ctx.ring->key(peer_)) {
+      p.marks.push_back(ctx.scheme->make_mark(p, peer_, *peer_key, *ctx.rng));
+      return ForwardAction::kForward;
+    }
+  }
+  if (ctx.rng->chance(own_mark_prob_)) {
+    if (const Bytes* own_key = ctx.ring->key(ctx.self)) {
+      p.marks.push_back(ctx.scheme->make_mark(p, ctx.self, *own_key, *ctx.rng));
+    }
+  }
+  return ForwardAction::kForward;
+}
+
+ForwardAction CompositeMole::on_forward(net::Packet& p, MoleContext& ctx) {
+  for (auto& part : parts_) {
+    if (part->on_forward(p, ctx) == ForwardAction::kDrop) return ForwardAction::kDrop;
+  }
+  return ForwardAction::kForward;
+}
+
+net::Packet PlainSourceMole::make_packet(MoleContext&) {
+  return base_packet(factory_, self_, seq_++);
+}
+
+net::Packet InsertionSourceMole::make_packet(MoleContext& ctx) {
+  net::Packet p = base_packet(factory_, self_, seq_++);
+  for (NodeId victim : frame_ids_) {
+    net::Mark fake;
+    fake.id_field = marking::encode_id(victim);
+    if (!ctx.scheme->plaintext_ids()) {
+      fake.id_field.resize(ctx.scheme->config().anon_len);
+      for (auto& b : fake.id_field) b = static_cast<std::uint8_t>(ctx.rng->next_below(256));
+    }
+    if (ctx.scheme->marks_carry_macs()) {
+      fake.mac.resize(ctx.scheme->config().mac_len);
+      for (auto& b : fake.mac) b = static_cast<std::uint8_t>(ctx.rng->next_below(256));
+    }
+    p.marks.push_back(std::move(fake));
+  }
+  return p;
+}
+
+net::Packet ReplaySourceMole::make_packet(MoleContext& ctx) {
+  if (captured_.empty()) {
+    // Nothing captured yet: emit an (easily filtered) empty-ish report.
+    net::Packet p;
+    p.true_source = self_;
+    p.seq = seq_++;
+    p.bogus = true;
+    return p;
+  }
+  // Cycle through the captured pool with a random start so short pools still
+  // interleave (a real replayer hoards and re-sends what it overheard).
+  std::size_t pick = static_cast<std::size_t>(ctx.rng->next_below(captured_.size()));
+  net::Packet p = captured_[pick];
+  p.true_source = self_;  // ground truth: the REPLAYER, not the original
+  p.seq = seq_++;
+  p.bogus = true;
+  p.delivered_by = kInvalidNode;
+  return p;
+}
+
+net::Packet IdentitySwapSource::make_packet(MoleContext& ctx) {
+  net::Packet p = base_packet(factory_, self_, seq_++);
+  if (ctx.rng->chance(claim_peer_prob_)) {
+    if (const Bytes* peer_key = ctx.ring->key(peer_)) {
+      p.marks.push_back(ctx.scheme->make_mark(p, peer_, *peer_key, *ctx.rng));
+      return p;
+    }
+  }
+  if (ctx.rng->chance(own_mark_prob_)) {
+    if (const Bytes* own_key = ctx.ring->key(self_)) {
+      p.marks.push_back(ctx.scheme->make_mark(p, self_, *own_key, *ctx.rng));
+    }
+  }
+  return p;
+}
+
+}  // namespace pnm::attack

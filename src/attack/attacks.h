@@ -1,0 +1,219 @@
+// Concrete mole behaviors — one per entry of the §2.2 attack taxonomy.
+//
+// Where an attack needs to *read* marks (targeted removal, selective drop),
+// it can only act on what the wire exposes: plaintext-ID schemes leak the
+// marker identities; PNM's anonymous IDs make those reads return nothing,
+// which is precisely the defense. The behaviors below attempt the read and
+// degrade honestly when it fails — no oracle access to hidden state.
+#pragma once
+
+#include <vector>
+
+#include "attack/mole.h"
+
+namespace pnm::attack {
+
+// ---------------------------------------------------------------- forwarding
+
+/// Attack 1 (no-mark): relay unchanged, never add the honest mark.
+class SilentMole final : public MoleBehavior {
+ public:
+  std::string_view name() const override { return "no-mark"; }
+  ForwardAction on_forward(net::Packet&, MoleContext&) override {
+    return ForwardAction::kForward;
+  }
+};
+
+/// Attack 2 (mark insertion): append forged marks. Without the victims' keys
+/// the MACs are necessarily garbage; with a colluder's key the mark verifies
+/// but names a mole. `frame_ids` picks which innocents to frame.
+class InsertionMole final : public MoleBehavior {
+ public:
+  InsertionMole(std::vector<NodeId> frame_ids, std::size_t per_packet)
+      : frame_ids_(std::move(frame_ids)), per_packet_(per_packet) {}
+
+  std::string_view name() const override { return "mark-insertion"; }
+  ForwardAction on_forward(net::Packet& p, MoleContext& ctx) override;
+
+ private:
+  std::vector<NodeId> frame_ids_;
+  std::size_t per_packet_;
+};
+
+enum class RemovalPolicy {
+  kAll,        ///< strip every existing mark
+  kFirstK,     ///< strip the k most-upstream marks (position leaks order)
+  kTargetIds,  ///< strip marks naming specific nodes (needs plaintext IDs)
+};
+
+/// Attack 3 (mark removal).
+class RemovalMole final : public MoleBehavior {
+ public:
+  RemovalMole(RemovalPolicy policy, std::size_t k = 1, std::vector<NodeId> targets = {})
+      : policy_(policy), k_(k), targets_(std::move(targets)) {}
+
+  std::string_view name() const override { return "mark-removal"; }
+  ForwardAction on_forward(net::Packet& p, MoleContext& ctx) override;
+
+ private:
+  RemovalPolicy policy_;
+  std::size_t k_;
+  std::vector<NodeId> targets_;
+};
+
+/// Attack 4 (mark re-ordering): random shuffle of the existing mark list.
+class ReorderMole final : public MoleBehavior {
+ public:
+  std::string_view name() const override { return "mark-reorder"; }
+  ForwardAction on_forward(net::Packet& p, MoleContext& ctx) override;
+};
+
+enum class AlterPolicy { kFirst, kAll, kTargetIds };
+
+/// Attack 5 (mark altering): flip MAC bits so targeted marks no longer verify.
+class AlterMole final : public MoleBehavior {
+ public:
+  AlterMole(AlterPolicy policy, std::vector<NodeId> targets = {})
+      : policy_(policy), targets_(std::move(targets)) {}
+
+  std::string_view name() const override { return "mark-altering"; }
+  ForwardAction on_forward(net::Packet& p, MoleContext& ctx) override;
+
+ private:
+  AlterPolicy policy_;
+  std::vector<NodeId> targets_;
+};
+
+enum class DropPolicy {
+  kTargetIds,  ///< drop packets carrying a mark of a targeted node (§4.2's
+               ///  attack on the naive extension; needs readable IDs)
+  kAnyMarked,  ///< drop every packet already carrying any mark (the blunt
+               ///  fallback an anonymized mole is reduced to)
+};
+
+/// Attack 6 (selective dropping).
+class SelectiveDropMole final : public MoleBehavior {
+ public:
+  SelectiveDropMole(DropPolicy policy, std::vector<NodeId> targets = {})
+      : policy_(policy), targets_(std::move(targets)) {}
+
+  std::string_view name() const override { return "selective-drop"; }
+  ForwardAction on_forward(net::Packet& p, MoleContext& ctx) override;
+
+ private:
+  DropPolicy policy_;
+  std::vector<NodeId> targets_;
+};
+
+/// Attack 7, forwarding side (identity swapping): X sometimes leaves a VALID
+/// mark claiming the colluding source S (using S's leaked key), sometimes an
+/// honest own mark, to weave the loop of Fig. 2.
+class IdentitySwapForwarder final : public MoleBehavior {
+ public:
+  IdentitySwapForwarder(NodeId peer, double claim_peer_prob, double own_mark_prob)
+      : peer_(peer), claim_peer_prob_(claim_peer_prob), own_mark_prob_(own_mark_prob) {}
+
+  std::string_view name() const override { return "identity-swap"; }
+  ForwardAction on_forward(net::Packet& p, MoleContext& ctx) override;
+
+ private:
+  NodeId peer_;
+  double claim_peer_prob_;
+  double own_mark_prob_;
+};
+
+/// Combines behaviors; any kDrop wins.
+class CompositeMole final : public MoleBehavior {
+ public:
+  explicit CompositeMole(std::vector<std::unique_ptr<MoleBehavior>> parts)
+      : parts_(std::move(parts)) {}
+
+  std::string_view name() const override { return "composite"; }
+  ForwardAction on_forward(net::Packet& p, MoleContext& ctx) override;
+
+ private:
+  std::vector<std::unique_ptr<MoleBehavior>> parts_;
+};
+
+// -------------------------------------------------------------------- source
+
+/// Plain injection: well-formed bogus reports, no marks (the source never
+/// marks its own packets; marks come from forwarders).
+class PlainSourceMole final : public SourceMole {
+ public:
+  PlainSourceMole(NodeId self, std::uint16_t loc_x, std::uint16_t loc_y)
+      : self_(self), factory_(loc_x, loc_y) {}
+
+  std::string_view name() const override { return "plain-source"; }
+  net::Packet make_packet(MoleContext& ctx) override;
+
+ private:
+  NodeId self_;
+  net::BogusReportFactory factory_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Attack 2, source side: seed each bogus packet with a forged "path prefix"
+/// of marks naming innocent nodes, to make the report look well-traveled.
+class InsertionSourceMole final : public SourceMole {
+ public:
+  InsertionSourceMole(NodeId self, std::uint16_t loc_x, std::uint16_t loc_y,
+                      std::vector<NodeId> frame_ids)
+      : self_(self), factory_(loc_x, loc_y), frame_ids_(std::move(frame_ids)) {}
+
+  std::string_view name() const override { return "insertion-source"; }
+  net::Packet make_packet(MoleContext& ctx) override;
+
+ private:
+  NodeId self_;
+  net::BogusReportFactory factory_;
+  std::vector<NodeId> frame_ids_;
+  std::uint64_t seq_ = 0;
+};
+
+/// §7 replay attack: re-inject previously captured LEGITIMATE packets, old
+/// marks and all. The embedded marks are valid for the replayed report, so a
+/// naive sink would reconstruct the ORIGINAL reporter's path and frame it.
+/// Defeated by en-route duplicate suppression (net::DedupCache) plus the
+/// sink's timestamp watermarks (sink::ReplayGuard).
+class ReplaySourceMole final : public SourceMole {
+ public:
+  ReplaySourceMole(NodeId self, std::vector<net::Packet> captured)
+      : self_(self), captured_(std::move(captured)) {}
+
+  std::string_view name() const override { return "replay-source"; }
+  net::Packet make_packet(MoleContext& ctx) override;
+
+  std::size_t pool_size() const { return captured_.size(); }
+
+ private:
+  NodeId self_;
+  std::vector<net::Packet> captured_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Attack 7, source side: S marks some of its own injections with X's key
+/// (making X appear most upstream) and some with its own key.
+class IdentitySwapSource final : public SourceMole {
+ public:
+  IdentitySwapSource(NodeId self, std::uint16_t loc_x, std::uint16_t loc_y, NodeId peer,
+                     double claim_peer_prob, double own_mark_prob)
+      : self_(self),
+        factory_(loc_x, loc_y),
+        peer_(peer),
+        claim_peer_prob_(claim_peer_prob),
+        own_mark_prob_(own_mark_prob) {}
+
+  std::string_view name() const override { return "identity-swap-source"; }
+  net::Packet make_packet(MoleContext& ctx) override;
+
+ private:
+  NodeId self_;
+  net::BogusReportFactory factory_;
+  NodeId peer_;
+  double claim_peer_prob_;
+  double own_mark_prob_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace pnm::attack

@@ -1,0 +1,114 @@
+#include "attack/colluding.h"
+
+#include <cassert>
+
+namespace pnm::attack {
+
+std::string_view attack_kind_name(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kSourceOnly: return "source-only";
+    case AttackKind::kNoMark: return "no-mark";
+    case AttackKind::kInsertion: return "mark-insertion";
+    case AttackKind::kRemoval: return "mark-removal";
+    case AttackKind::kRemovalBlind: return "removal-blind";
+    case AttackKind::kReorder: return "mark-reorder";
+    case AttackKind::kAltering: return "mark-altering";
+    case AttackKind::kSelectiveDrop: return "selective-drop";
+    case AttackKind::kDropAnyMarked: return "drop-any-marked";
+    case AttackKind::kIdentitySwap: return "identity-swap";
+  }
+  return "?";
+}
+
+std::vector<AttackKind> all_attack_kinds() {
+  return {AttackKind::kSourceOnly,    AttackKind::kNoMark,
+          AttackKind::kInsertion,     AttackKind::kRemoval,
+          AttackKind::kRemovalBlind,  AttackKind::kReorder,
+          AttackKind::kAltering,      AttackKind::kSelectiveDrop,
+          AttackKind::kDropAnyMarked, AttackKind::kIdentitySwap};
+}
+
+Scenario make_scenario(AttackKind kind, const net::Topology& topo,
+                       const net::RoutingTable& routing, NodeId source,
+                       std::size_t forwarder_offset) {
+  std::vector<NodeId> path = routing.path_to_sink(source);
+  assert(path.size() >= 3 && "need at least source -> forwarder -> sink");
+
+  Scenario s;
+  s.source = source;
+  s.moles.push_back(source);
+
+  const auto& pos = topo.position(source);
+  auto loc_x = static_cast<std::uint16_t>(pos.x);
+  auto loc_y = static_cast<std::uint16_t>(pos.y);
+
+  // path = [source, V1, V2, ..., sink]; V1 is the first forwarder. Targeted
+  // attacks aim at V1 so the traceback lands on innocent V2 if they succeed.
+  NodeId v1 = path[1];
+  std::vector<NodeId> targets{v1};
+
+  // Forwarding mole position: `forwarder_offset` hops past the source,
+  // clamped to stay strictly between V1's successor and the sink.
+  NodeId forwarder = kInvalidNode;
+  if (kind != AttackKind::kSourceOnly) {
+    std::size_t idx = std::min(forwarder_offset, path.size() - 2);
+    idx = std::max<std::size_t>(idx, 2);  // at least one honest node upstream
+    forwarder = path[idx];
+    s.forwarder = forwarder;
+    s.moles.push_back(forwarder);
+  }
+
+  switch (kind) {
+    case AttackKind::kSourceOnly:
+      s.source_mole = std::make_unique<PlainSourceMole>(source, loc_x, loc_y);
+      break;
+    case AttackKind::kNoMark:
+      s.source_mole = std::make_unique<PlainSourceMole>(source, loc_x, loc_y);
+      s.forwarder_mole = std::make_unique<SilentMole>();
+      break;
+    case AttackKind::kInsertion:
+      // Both ends insert: the source seeds a fake path prefix framing V1,
+      // the forwarder piles on two more forged marks per packet.
+      s.source_mole =
+          std::make_unique<InsertionSourceMole>(source, loc_x, loc_y, targets);
+      s.forwarder_mole = std::make_unique<InsertionMole>(targets, 2);
+      break;
+    case AttackKind::kRemoval:
+      s.source_mole = std::make_unique<PlainSourceMole>(source, loc_x, loc_y);
+      s.forwarder_mole =
+          std::make_unique<RemovalMole>(RemovalPolicy::kTargetIds, 1, targets);
+      break;
+    case AttackKind::kRemovalBlind:
+      s.source_mole = std::make_unique<PlainSourceMole>(source, loc_x, loc_y);
+      s.forwarder_mole = std::make_unique<RemovalMole>(RemovalPolicy::kFirstK, 2);
+      break;
+    case AttackKind::kReorder:
+      s.source_mole = std::make_unique<PlainSourceMole>(source, loc_x, loc_y);
+      s.forwarder_mole = std::make_unique<ReorderMole>();
+      break;
+    case AttackKind::kAltering:
+      s.source_mole = std::make_unique<PlainSourceMole>(source, loc_x, loc_y);
+      s.forwarder_mole =
+          std::make_unique<AlterMole>(AlterPolicy::kTargetIds, targets);
+      break;
+    case AttackKind::kSelectiveDrop:
+      s.source_mole = std::make_unique<PlainSourceMole>(source, loc_x, loc_y);
+      s.forwarder_mole =
+          std::make_unique<SelectiveDropMole>(DropPolicy::kTargetIds, targets);
+      break;
+    case AttackKind::kDropAnyMarked:
+      s.source_mole = std::make_unique<PlainSourceMole>(source, loc_x, loc_y);
+      s.forwarder_mole = std::make_unique<SelectiveDropMole>(DropPolicy::kAnyMarked);
+      break;
+    case AttackKind::kIdentitySwap:
+      s.source_mole = std::make_unique<IdentitySwapSource>(
+          source, loc_x, loc_y, forwarder, /*claim_peer_prob=*/0.3,
+          /*own_mark_prob=*/0.3);
+      s.forwarder_mole = std::make_unique<IdentitySwapForwarder>(
+          source, /*claim_peer_prob=*/0.3, /*own_mark_prob=*/0.3);
+      break;
+  }
+  return s;
+}
+
+}  // namespace pnm::attack

@@ -1,0 +1,51 @@
+// Collusion scenarios: the §2.2 taxonomy wired into concrete (source mole,
+// forwarding mole) pairs with path-aware targeting. The attack-matrix bench
+// crosses these with every marking scheme.
+#pragma once
+
+#include <memory>
+
+#include "attack/attacks.h"
+#include "net/routing.h"
+#include "net/topology.h"
+
+namespace pnm::attack {
+
+enum class AttackKind {
+  kSourceOnly,       ///< lone source mole, honest forwarders (baseline)
+  kNoMark,           ///< 1: forwarding mole never marks
+  kInsertion,        ///< 2: source & forwarder insert forged marks
+  kRemoval,          ///< 3: forwarder strips upstream marks (targeted)
+  kRemovalBlind,     ///< 3b: forwarder strips the first marks it sees —
+                     ///  what an anonymized mole is reduced to
+  kReorder,          ///< 4: forwarder shuffles marks
+  kAltering,         ///< 5: forwarder corrupts targeted marks
+  kSelectiveDrop,    ///< 6: forwarder drops packets exposing targeted nodes
+  kDropAnyMarked,    ///< 6b: blind variant — drop everything already marked
+  kIdentitySwap,     ///< 7: S and X mark with each other's keys (Fig. 2 loop)
+};
+
+std::string_view attack_kind_name(AttackKind kind);
+std::vector<AttackKind> all_attack_kinds();
+
+/// A fully instantiated collusion: who the moles are, what each does.
+struct Scenario {
+  NodeId source = kInvalidNode;
+  NodeId forwarder = kInvalidNode;  ///< kInvalidNode when there is none
+  std::unique_ptr<SourceMole> source_mole;
+  std::unique_ptr<MoleBehavior> forwarder_mole;  ///< null when none
+  /// Additional compromised forwarders beyond the primary one (larger
+  /// conspiracies; each node gets its own behavior).
+  std::vector<std::pair<NodeId, std::unique_ptr<MoleBehavior>>> extra_forwarders;
+  std::vector<NodeId> moles;  ///< ground truth (includes extras)
+};
+
+/// Builds a scenario on `source`'s forwarding path. The forwarding mole is
+/// placed `forwarder_offset` hops downstream of the source (clamped to the
+/// path); targeted attacks aim at V1, the source's first forwarder — the
+/// paper's canonical "steer traceback to innocent V2" play.
+Scenario make_scenario(AttackKind kind, const net::Topology& topo,
+                       const net::RoutingTable& routing, NodeId source,
+                       std::size_t forwarder_offset);
+
+}  // namespace pnm::attack

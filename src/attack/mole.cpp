@@ -1,0 +1,29 @@
+#include "attack/mole.h"
+
+namespace pnm::attack {
+
+KeyRing::KeyRing(const crypto::KeyStore& keys, const std::vector<NodeId>& compromised) {
+  for (NodeId id : compromised) {
+    if (auto k = keys.key(id)) {
+      keys_.emplace(id, std::move(*k));
+      members_.push_back(id);
+    }
+  }
+}
+
+const Bytes* KeyRing::key(NodeId id) const {
+  auto it = keys_.find(id);
+  return it == keys_.end() ? nullptr : &it->second;
+}
+
+net::Packet SourceMole::base_packet(net::BogusReportFactory& factory, NodeId source,
+                                    std::uint64_t seq) {
+  net::Packet p;
+  p.report = factory.next().encode();
+  p.true_source = source;
+  p.seq = seq;
+  p.bogus = true;
+  return p;
+}
+
+}  // namespace pnm::attack

@@ -1,0 +1,78 @@
+// Adversary model (§2.2).
+//
+// A "mole" is a compromised node under full adversary control: its key is
+// leaked, and its forwarding behavior is arbitrary. Colluding moles share
+// keys (the KeyRing below). Two roles appear in the paper's threat model:
+//
+//  * the SOURCE mole S: fabricates well-formed but bogus reports and may
+//    seed them with forged marks before injection;
+//  * the FORWARDING mole X: sits on the path and manipulates the packets it
+//    relays — or drops them — to hide S, hide itself, or frame innocents.
+//
+// MoleBehavior is the forwarding-side hook; SourceMole the origin-side one.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "marking/scheme.h"
+#include "net/report.h"
+#include "util/rng.h"
+
+namespace pnm::attack {
+
+/// The secret keys the adversary possesses: exactly those of the compromised
+/// nodes. Built from the global KeyStore for a given colluder set — moles
+/// never gain keys of uncompromised nodes.
+class KeyRing {
+ public:
+  KeyRing(const crypto::KeyStore& keys, const std::vector<NodeId>& compromised);
+
+  const Bytes* key(NodeId id) const;
+  const std::vector<NodeId>& members() const { return members_; }
+  bool owns(NodeId id) const { return key(id) != nullptr; }
+
+ private:
+  std::unordered_map<NodeId, Bytes> keys_;
+  std::vector<NodeId> members_;
+};
+
+/// Everything a forwarding mole can use: its identity, the colluders' keys,
+/// knowledge of the marking protocol in force, and randomness.
+struct MoleContext {
+  NodeId self = kInvalidNode;
+  const marking::MarkingScheme* scheme = nullptr;
+  const KeyRing* ring = nullptr;
+  Rng* rng = nullptr;
+};
+
+enum class ForwardAction { kForward, kDrop };
+
+/// Forwarding-side packet manipulation, applied in place of the legitimate
+/// marking step when the packet transits the mole.
+class MoleBehavior {
+ public:
+  virtual ~MoleBehavior() = default;
+  virtual std::string_view name() const = 0;
+  virtual ForwardAction on_forward(net::Packet& p, MoleContext& ctx) = 0;
+};
+
+/// Origin-side behavior of the source mole: fabricate the next bogus packet,
+/// optionally pre-loading forged marks (mark insertion / identity swapping
+/// start at the source).
+class SourceMole {
+ public:
+  virtual ~SourceMole() = default;
+  virtual std::string_view name() const = 0;
+  virtual net::Packet make_packet(MoleContext& ctx) = 0;
+
+ protected:
+  /// Fresh bogus packet with ground truth filled in.
+  static net::Packet base_packet(net::BogusReportFactory& factory, NodeId source,
+                                 std::uint64_t seq);
+};
+
+}  // namespace pnm::attack

@@ -1,0 +1,65 @@
+#include "baselines/bloom.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "crypto/sha256.h"
+
+namespace pnm::baselines {
+
+BloomFilter::BloomFilter(std::size_t bits, std::size_t hashes)
+    : bits_((std::max<std::size_t>(bits, 64) + 63) / 64 * 64),
+      hashes_(std::clamp<std::size_t>(hashes, 1, 16)),
+      words_(bits_ / 64, 0) {}
+
+BloomFilter BloomFilter::for_capacity(std::size_t items, double fp_rate) {
+  assert(items > 0 && fp_rate > 0.0 && fp_rate < 1.0);
+  double ln2 = std::log(2.0);
+  double m = -static_cast<double>(items) * std::log(fp_rate) / (ln2 * ln2);
+  double k = m / static_cast<double>(items) * ln2;
+  return BloomFilter(static_cast<std::size_t>(std::ceil(m)),
+                     static_cast<std::size_t>(std::lround(std::max(1.0, k))));
+}
+
+void BloomFilter::indices(ByteView item, std::vector<std::size_t>& out) const {
+  crypto::Sha256Digest d = crypto::Sha256::hash(item);
+  auto word_at = [&](int off) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(off + i)];
+    return v;
+  };
+  std::uint64_t h1 = word_at(0);
+  std::uint64_t h2 = word_at(8) | 1;  // odd, so the stride cycles all bits
+  out.clear();
+  for (std::size_t i = 0; i < hashes_; ++i)
+    out.push_back(static_cast<std::size_t>((h1 + i * h2) % bits_));
+}
+
+void BloomFilter::insert(ByteView item) {
+  std::vector<std::size_t> idx;
+  indices(item, idx);
+  for (std::size_t bit : idx) words_[bit / 64] |= (1ULL << (bit % 64));
+  ++insertions_;
+}
+
+bool BloomFilter::possibly_contains(ByteView item) const {
+  std::vector<std::size_t> idx;
+  indices(item, idx);
+  for (std::size_t bit : idx)
+    if (!((words_[bit / 64] >> (bit % 64)) & 1ULL)) return false;
+  return true;
+}
+
+void BloomFilter::clear() {
+  std::fill(words_.begin(), words_.end(), 0);
+  insertions_ = 0;
+}
+
+double BloomFilter::fill_ratio() const {
+  std::size_t set = 0;
+  for (std::uint64_t w : words_) set += static_cast<std::size_t>(__builtin_popcountll(w));
+  return static_cast<double>(set) / static_cast<double>(bits_);
+}
+
+}  // namespace pnm::baselines

@@ -1,0 +1,45 @@
+// Bloom filter substrate for the logging-traceback baseline (SPIE, Snoeren
+// et al., SIGCOMM 2001 — the paper's reference [9]). Nodes cannot store full
+// copies of forwarded packets; SPIE stores hash digests in a Bloom filter,
+// trading per-node RAM for a tunable false-positive rate. Implemented with
+// double hashing derived from one SHA-256 evaluation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace pnm::baselines {
+
+class BloomFilter {
+ public:
+  /// `bits` rounded up to a multiple of 64; `hashes` in [1, 16].
+  BloomFilter(std::size_t bits, std::size_t hashes);
+
+  /// Size a filter for `items` insertions at target false-positive rate
+  /// `fp_rate` (standard m = -n ln p / ln2^2, k = m/n ln2 formulas).
+  static BloomFilter for_capacity(std::size_t items, double fp_rate);
+
+  void insert(ByteView item);
+  bool possibly_contains(ByteView item) const;
+  void clear();
+
+  std::size_t bit_count() const { return bits_; }
+  std::size_t hash_count() const { return hashes_; }
+  std::size_t storage_bytes() const { return words_.size() * 8; }
+  std::size_t insertions() const { return insertions_; }
+  /// Fraction of bits set — the operational fp-rate estimate is
+  /// fill_ratio()^k.
+  double fill_ratio() const;
+
+ private:
+  void indices(ByteView item, std::vector<std::size_t>& out) const;
+
+  std::size_t bits_;
+  std::size_t hashes_;
+  std::vector<std::uint64_t> words_;
+  std::size_t insertions_ = 0;
+};
+
+}  // namespace pnm::baselines

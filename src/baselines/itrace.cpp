@@ -1,0 +1,65 @@
+#include "baselines/itrace.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace pnm::baselines {
+
+namespace {
+
+Bytes digest8(ByteView report) {
+  crypto::Sha256Digest d = crypto::Sha256::hash(report);
+  return Bytes(d.begin(), d.begin() + 8);
+}
+
+Bytes mac_input(ByteView digest, NodeId reporter) {
+  ByteWriter w;
+  w.u8(0x17);  // domain tag: itrace notification
+  w.blob16(digest);
+  w.u16(reporter);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Bytes Notification::encode() const {
+  ByteWriter w;
+  w.blob16(report_digest);
+  w.u16(reporter);
+  w.blob16(mac);
+  return std::move(w).take();
+}
+
+std::optional<Notification> Notification::decode(ByteView wire) {
+  ByteReader r(wire);
+  Notification n;
+  auto digest = r.blob16();
+  auto reporter = r.u16();
+  auto mac = r.blob16();
+  if (!digest || !reporter || !mac || !r.at_end()) return std::nullopt;
+  if (digest->size() != 8 || mac->size() > 32) return std::nullopt;
+  n.report_digest = std::move(*digest);
+  n.reporter = *reporter;
+  n.mac = std::move(*mac);
+  return n;
+}
+
+std::optional<Notification> ItraceAgent::maybe_notify(ByteView report, NodeId self,
+                                                      ByteView key, Rng& rng) const {
+  if (!rng.chance(cfg_.notify_probability)) return std::nullopt;
+  Notification n;
+  n.report_digest = digest8(report);
+  n.reporter = self;
+  n.mac = crypto::truncated_mac(key, mac_input(n.report_digest, self), cfg_.mac_len);
+  return n;
+}
+
+bool verify_notification(const Notification& n, const crypto::KeyStore& keys,
+                         std::size_t mac_len) {
+  if (n.mac.size() != mac_len) return false;
+  auto key = keys.key(n.reporter);
+  if (!key || n.reporter == kSinkId) return false;
+  return crypto::verify_mac(*key, mac_input(n.report_digest, n.reporter), n.mac);
+}
+
+}  // namespace pnm::baselines

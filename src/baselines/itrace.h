@@ -1,0 +1,63 @@
+// Notification-based traceback baseline (ICMP traceback / Bellovin itrace,
+// the paper's reference [2], §8 "Related Work").
+//
+// With probability q, a forwarding node emits a separate NOTIFICATION packet
+// to the sink: (digest of the report, its own ID, a MAC). Collecting
+// notifications, the sink learns which nodes forwarded which flow and infers
+// the origin region.
+//
+// The paper's two objections, made measurable here:
+//  * notifications are extra traffic — every one costs a full multi-hop
+//    delivery (energy and bandwidth the data packets did not pay);
+//  * the notification channel must itself be secured: notifications carry
+//    plaintext origin IDs and travel through potentially compromised
+//    forwarders, so a colluding mole simply drops the ones that would expose
+//    its partner — the selective-drop attack reborn at the control layer.
+#pragma once
+
+#include <optional>
+
+#include "crypto/keys.h"
+#include "net/report.h"
+#include "util/rng.h"
+
+namespace pnm::baselines {
+
+struct ItraceConfig {
+  /// Per-hop notification probability. The Internet draft used 1/20000;
+  /// sensor-scale traffic needs far higher rates to converge.
+  double notify_probability = 0.05;
+  std::size_t mac_len = 4;
+};
+
+/// A notification message (what rides inside the control packet's report
+/// field when simulated).
+struct Notification {
+  Bytes report_digest;  ///< SHA-256 of the data report (truncated to 8B)
+  NodeId reporter = kInvalidNode;
+  Bytes mac;
+
+  Bytes encode() const;
+  static std::optional<Notification> decode(ByteView wire);
+};
+
+/// Node side: decide whether to notify for a data packet and build the
+/// authenticated notification.
+class ItraceAgent {
+ public:
+  ItraceAgent(ItraceConfig cfg) : cfg_(cfg) {}
+
+  std::optional<Notification> maybe_notify(ByteView report, NodeId self, ByteView key,
+                                           Rng& rng) const;
+
+  const ItraceConfig& config() const { return cfg_; }
+
+ private:
+  ItraceConfig cfg_;
+};
+
+/// Sink side: verify a notification's MAC against the key store.
+bool verify_notification(const Notification& n, const crypto::KeyStore& keys,
+                         std::size_t mac_len);
+
+}  // namespace pnm::baselines

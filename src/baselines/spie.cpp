@@ -1,0 +1,51 @@
+#include "baselines/spie.h"
+
+#include <algorithm>
+
+namespace pnm::baselines {
+
+SpieTraceResult spie_trace(const net::Topology& topo, ByteView report,
+                           const QueryOracle& oracle) {
+  SpieTraceResult out;
+  std::vector<bool> visited(topo.node_count(), false);
+  visited[kSinkId] = true;
+  NodeId current = kSinkId;
+
+  while (true) {
+    std::vector<NodeId> positives;
+    for (NodeId neighbor : topo.neighbors(current)) {
+      if (visited[neighbor]) continue;
+      ++out.queries;
+      if (oracle(neighbor, report) == QueryAnswer::kYes) positives.push_back(neighbor);
+    }
+    if (positives.empty()) {
+      // Nobody upstream claims the packet: the current node is the most
+      // upstream forwarder the trace can establish.
+      out.completed = current != kSinkId;
+      if (out.completed) out.suspects = topo.closed_neighborhood(current);
+      return out;
+    }
+    if (positives.size() > 1) {
+      // A Bloom false positive or a liar created a fork; a real SPIE sink
+      // would have to explore every branch — we report the ambiguity and
+      // follow the first branch (deterministic worst case for precision).
+      out.ambiguous = true;
+    }
+    current = positives.front();
+    visited[current] = true;
+    out.path.push_back(current);
+    if (out.path.size() > topo.node_count()) {
+      out.completed = false;  // liar-induced cycle guard
+      return out;
+    }
+  }
+}
+
+QueryOracle honest_oracle(const std::vector<SpieNode>& nodes) {
+  return [&nodes](NodeId queried, ByteView report) {
+    if (queried >= nodes.size()) return QueryAnswer::kNo;
+    return nodes[queried].remembers(report) ? QueryAnswer::kYes : QueryAnswer::kNo;
+  };
+}
+
+}  // namespace pnm::baselines

@@ -1,0 +1,70 @@
+// Logging-based traceback baseline (SPIE-style, the paper's reference [9],
+// §8 "Related Work").
+//
+// Every node remembers a digest of each packet it forwards in a Bloom
+// filter. To trace a packet the sink walks upstream: starting from its own
+// radio neighborhood it queries candidate nodes "did you forward this
+// packet?" and follows positive answers hop by hop.
+//
+// The paper rejects this approach for sensor networks on two grounds, both
+// of which this implementation makes measurable:
+//  * every node burns RAM on the digest log (storage_bytes per node), and
+//    the sink's trace costs a query/reply message exchange per candidate —
+//    control traffic that itself consumes energy and, worse, must be secured;
+//  * compromised nodes can lie. A mole may deny forwarding (the trace goes
+//    BLIND before reaching the source's neighborhood), answer for packets it
+//    never saw to grow fake branches toward innocents (MISLED), or simply
+//    drop query/reply traffic routed through it.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "baselines/bloom.h"
+#include "net/topology.h"
+
+namespace pnm::baselines {
+
+struct SpieConfig {
+  std::size_t bits_per_node = 8192;  ///< 1 KiB digest log per node
+  std::size_t hash_count = 6;
+};
+
+/// The per-node packet-digest log.
+class SpieNode {
+ public:
+  explicit SpieNode(const SpieConfig& cfg)
+      : filter_(cfg.bits_per_node, cfg.hash_count) {}
+
+  void log(ByteView report) { filter_.insert(report); }
+  bool remembers(ByteView report) const { return filter_.possibly_contains(report); }
+  const BloomFilter& filter() const { return filter_; }
+
+ private:
+  BloomFilter filter_;
+};
+
+/// How a queried node answers. Honest nodes consult their filter; moles lie.
+enum class QueryAnswer { kYes, kNo, kSilent };
+using QueryOracle = std::function<QueryAnswer(NodeId queried, ByteView report)>;
+
+struct SpieTraceResult {
+  /// Reconstructed path sink-outward (first element = sink's neighbor).
+  std::vector<NodeId> path;
+  /// Closed neighborhood of the most upstream positive answerer.
+  std::vector<NodeId> suspects;
+  bool completed = false;   ///< trace reached a node with no positive upstream
+  bool ambiguous = false;   ///< >1 upstream candidate answered yes (fp / liar)
+  std::size_t queries = 0;  ///< query messages sent (replies cost the same)
+};
+
+/// Walk the trace for one packet. `oracle` answers each query (moles can lie
+/// through it); honest behavior is `honest_oracle` below. Queries fan out to
+/// the current node's radio neighbors minus already-visited nodes.
+SpieTraceResult spie_trace(const net::Topology& topo, ByteView report,
+                           const QueryOracle& oracle);
+
+/// Oracle for a fully honest network over a vector of per-node logs.
+QueryOracle honest_oracle(const std::vector<SpieNode>& nodes);
+
+}  // namespace pnm::baselines

@@ -1,0 +1,224 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/protocol.h"
+#include "crypto/keys.h"
+#include "net/simulator.h"
+#include "sink/catcher.h"
+#include "util/log.h"
+
+namespace pnm::core {
+
+namespace {
+
+Bytes master_secret_from_seed(std::uint64_t seed) {
+  ByteWriter w;
+  w.raw(ByteView(reinterpret_cast<const std::uint8_t*>("pnm-master"), 10));
+  w.u64(seed);
+  return std::move(w).take();
+}
+
+bool any_mole_in(const std::vector<NodeId>& suspects, const std::vector<NodeId>& moles) {
+  return std::any_of(suspects.begin(), suspects.end(), [&](NodeId s) {
+    return std::find(moles.begin(), moles.end(), s) != moles.end();
+  });
+}
+
+}  // namespace
+
+ChainExperimentResult run_chain_experiment(const ChainExperimentConfig& cfg,
+                                           const PacketObserver& observer) {
+  assert(cfg.forwarders >= 2);
+  net::Topology topo = net::Topology::chain(cfg.forwarders);
+  net::RoutingTable routing(topo, net::RoutingStrategy::kTree);
+  NodeId source = static_cast<NodeId>(cfg.forwarders + 1);
+
+  crypto::KeyStore keys(master_secret_from_seed(cfg.seed), topo.node_count());
+  auto scheme = marking::make_scheme(cfg.protocol.scheme,
+                                     cfg.protocol.scheme_config(cfg.forwarders));
+
+  std::size_t offset =
+      cfg.forwarder_offset ? cfg.forwarder_offset : (cfg.forwarders / 2 + 1);
+  attack::Scenario scenario =
+      attack::make_scenario(cfg.attack, topo, routing, source, offset);
+
+  net::LinkModel link;
+  link.loss_probability = cfg.link_loss;
+  net::Simulator sim(topo, routing, link, net::EnergyModel{}, cfg.seed ^ 0x51517171ULL);
+
+  Deployment deployment(sim, *scheme, keys, scenario, cfg.seed ^ 0xDEAD10CCULL);
+  deployment.install();
+
+  sink::TracebackEngine engine(*scheme, keys, topo);
+  sim.set_sink_handler([&](net::Packet&& p, double) {
+    engine.ingest(p);
+    if (observer) observer(engine.packets_ingested(), engine);
+  });
+
+  // Paced injection: one bogus packet every injection_interval_s.
+  std::function<void()> pump = [&]() {
+    if (deployment.injected() >= cfg.packets) return;
+    deployment.inject_bogus();
+    sim.schedule(cfg.injection_interval_s, pump);
+  };
+  sim.schedule(0.0, pump);
+  bool drained = sim.run();
+  assert(drained);
+  (void)drained;
+
+  ChainExperimentResult out;
+  out.packets_injected = deployment.injected();
+  out.packets_delivered = engine.packets_ingested();
+  out.final_analysis = engine.analysis();
+  out.packets_to_identify = engine.packets_to_identification();
+  out.markers_seen = engine.markers_seen();
+  out.marks_verified = engine.marks_verified();
+  out.v1 = routing.path_to_sink(source).at(1);
+  out.moles = scenario.moles;
+  out.mole_in_suspects =
+      out.final_analysis.identified && any_mole_in(out.final_analysis.suspects, out.moles);
+  out.correct_source_neighborhood =
+      out.final_analysis.identified && out.final_analysis.stop_node == out.v1;
+  out.sim_duration_s = sim.now();
+  out.total_energy_uj = sim.energy().total_energy_uj();
+  return out;
+}
+
+CatchCampaignResult run_catch_campaign(const CatchCampaignConfig& cfg) {
+  net::Topology topo = cfg.field == FieldKind::kChain
+                           ? net::Topology::chain(cfg.forwarders)
+                           : net::Topology::grid(cfg.grid_width, cfg.grid_height,
+                                                 cfg.grid_range);
+  NodeId source = static_cast<NodeId>(topo.node_count() - 1);
+
+  crypto::KeyStore keys(master_secret_from_seed(cfg.seed), topo.node_count());
+
+  CatchCampaignResult result;
+  std::vector<bool> isolated(topo.node_count(), false);
+  std::vector<NodeId> remaining_moles;  // filled from the first scenario
+  bool first_phase = true;
+  attack::AttackKind attack = cfg.attack;
+  std::size_t budget = cfg.max_packets;
+  std::uint64_t phase_seed = cfg.seed;
+
+  while (budget > 0) {
+    net::RoutingTable routing(topo, net::RoutingStrategy::kTree, isolated);
+    if (!routing.has_route(source)) {
+      result.attack_neutralized = true;
+      break;
+    }
+    std::vector<NodeId> path = routing.path_to_sink(source);
+    std::size_t hops = path.size() - 2;  // forwarders between source and sink
+    if (hops < 2) {
+      // Source adjacent to the sink: its neighborhood is trivially known.
+      result.attack_neutralized = true;
+      break;
+    }
+
+    auto scheme =
+        marking::make_scheme(cfg.protocol.scheme, cfg.protocol.scheme_config(hops));
+    std::size_t offset = cfg.forwarder_offset ? cfg.forwarder_offset : (hops / 2 + 1);
+    attack::Scenario scenario =
+        attack::make_scenario(attack, topo, routing, source, offset);
+    if (first_phase) {
+      remaining_moles = scenario.moles;
+      first_phase = false;
+    } else {
+      scenario.moles = remaining_moles;  // ground truth persists across phases
+    }
+
+    net::Simulator sim(topo, routing, net::LinkModel{}, net::EnergyModel{},
+                       phase_seed ^ 0x5151ULL);
+    for (NodeId v = 0; v < topo.node_count(); ++v)
+      if (isolated[v]) sim.isolate(v);
+
+    Deployment deployment(sim, *scheme, keys, scenario, phase_seed ^ 0xD0D0ULL);
+    deployment.install();
+
+    sink::TracebackEngine engine(*scheme, keys, topo);
+    bool stop_injection = false;
+    std::optional<sink::CatchOutcome> catch_outcome;
+    std::size_t wasted = 0;
+    std::set<NodeId> attempted_stops;
+    NodeId stable_stop = kInvalidNode;
+    std::size_t stable_for = 0;
+
+    sim.set_sink_handler([&](net::Packet&& p, double) {
+      engine.ingest(p);
+      const sink::RouteAnalysis& analysis = engine.analysis();
+      if (!analysis.identified || stop_injection) {
+        stable_stop = kInvalidNode;
+        stable_for = 0;
+        return;
+      }
+      if (analysis.stop_node == stable_stop) {
+        ++stable_for;
+      } else {
+        stable_stop = analysis.stop_node;
+        stable_for = 1;
+      }
+      if (stable_for < cfg.stability_window) return;
+      if (attempted_stops.count(analysis.stop_node)) return;
+      attempted_stops.insert(analysis.stop_node);
+      auto outcome = sink::resolve_catch(analysis, remaining_moles);
+      if (outcome) {
+        catch_outcome = outcome;
+        stop_injection = true;
+      } else {
+        // Innocent neighborhood inspected: cost paid, keep listening.
+        wasted += analysis.suspects.size();
+      }
+    });
+
+    std::function<void()> pump = [&]() {
+      if (stop_injection || deployment.injected() >= budget) return;
+      deployment.inject_bogus();
+      sim.schedule(cfg.injection_interval_s, pump);
+    };
+    sim.schedule(0.0, pump);
+    sim.run();
+
+    budget -= std::min(budget, deployment.injected());
+    result.total_bogus_injected += deployment.injected();
+    result.total_bogus_delivered += engine.packets_ingested();
+    result.total_energy_uj += sim.energy().total_energy_uj();
+    result.total_time_s += sim.now();
+
+    if (!catch_outcome) break;  // budget exhausted without identification
+
+    CatchPhase phase;
+    phase.caught = catch_outcome->mole;
+    phase.inspections = catch_outcome->inspections;
+    phase.wasted_inspections = wasted;
+    phase.bogus_delivered = engine.packets_ingested();
+    phase.duration_s = sim.now();
+    phase.energy_uj = sim.energy().total_energy_uj();
+    phase.via_loop = engine.analysis().via_loop;
+    result.phases.push_back(phase);
+
+    isolated[catch_outcome->mole] = true;
+    std::erase(remaining_moles, catch_outcome->mole);
+    phase_seed = phase_seed * 0x9e3779b97f4a7c15ULL + 1;
+
+    if (remaining_moles.empty()) {
+      result.all_moles_caught = true;
+      result.attack_neutralized = true;
+      break;
+    }
+    if (std::find(remaining_moles.begin(), remaining_moles.end(), source) ==
+        remaining_moles.end()) {
+      // Only forwarding moles remain but the injection source is gone:
+      // nothing left to trace.
+      result.attack_neutralized = true;
+      break;
+    }
+    // A forwarding mole was caught; the source keeps injecting. If the
+    // forwarder is gone the collusion degrades to source-only.
+    if (catch_outcome->mole != source) attack = attack::AttackKind::kSourceOnly;
+  }
+  return result;
+}
+
+}  // namespace pnm::core

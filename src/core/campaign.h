@@ -1,0 +1,109 @@
+// End-to-end experiment drivers — the functions benches, examples and
+// integration tests call.
+//
+//  * run_chain_experiment: the paper's evaluation setup (§6): a source mole
+//    injecting through a chain of n forwarders, optionally with a colluding
+//    forwarding mole, for a fixed packet budget. Produces everything Figs.
+//    5-7 and the attack matrix need.
+//  * run_catch_campaign: the operational story (§1, §7 "Mole Isolation"):
+//    inject until the sink identifies a neighborhood, dispatch inspection,
+//    isolate the caught mole, re-route, repeat until the attack dies.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+
+#include "attack/colluding.h"
+#include "core/config.h"
+#include "sink/route_reconstruct.h"
+#include "sink/traceback.h"
+
+namespace pnm::core {
+
+struct ChainExperimentConfig {
+  std::size_t forwarders = 10;  ///< n, the path length between mole and sink
+  PnmConfig protocol;
+  attack::AttackKind attack = attack::AttackKind::kSourceOnly;
+  /// Hops between source and the forwarding mole; 0 = middle of the path.
+  std::size_t forwarder_offset = 0;
+  std::size_t packets = 100;  ///< bogus packets injected by the source
+  double injection_interval_s = 1.0 / 30.0;
+  double link_loss = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct ChainExperimentResult {
+  std::size_t packets_injected = 0;
+  std::size_t packets_delivered = 0;
+  sink::RouteAnalysis final_analysis;
+  /// Packet count at which the final (stable) identification was reached.
+  std::optional<std::size_t> packets_to_identify;
+  std::set<NodeId> markers_seen;
+  std::size_t marks_verified = 0;
+  /// Ground truth: the suspect neighborhood contains a real mole.
+  bool mole_in_suspects = false;
+  /// Ground truth: the stop node is V1, the source's first forwarder — the
+  /// correct unequivocal answer in source-only runs.
+  bool correct_source_neighborhood = false;
+  NodeId v1 = kInvalidNode;
+  std::vector<NodeId> moles;
+  double sim_duration_s = 0.0;
+  double total_energy_uj = 0.0;
+};
+
+/// Called after each delivered packet with the engine state; lets Fig. 5
+/// sample the mark-collection curve without rerunning.
+using PacketObserver =
+    std::function<void(std::size_t delivered_count, const sink::TracebackEngine&)>;
+
+ChainExperimentResult run_chain_experiment(const ChainExperimentConfig& cfg,
+                                           const PacketObserver& observer = nullptr);
+
+// ---------------------------------------------------------------------------
+
+enum class FieldKind { kChain, kGrid };
+
+struct CatchCampaignConfig {
+  FieldKind field = FieldKind::kChain;
+  std::size_t forwarders = 20;   ///< chain length (kChain)
+  std::size_t grid_width = 12;   ///< field size (kGrid)
+  std::size_t grid_height = 12;
+  double grid_range = 1.6;
+  PnmConfig protocol;
+  attack::AttackKind attack = attack::AttackKind::kRemoval;
+  std::size_t forwarder_offset = 0;
+  std::size_t max_packets = 5000;  ///< total injection budget
+  double injection_interval_s = 1.0 / 30.0;
+  /// The sink dispatches a physical inspection only after the identification
+  /// has been stable (same stop node) for this many consecutive suspicious
+  /// packets — premature route estimates should not send task forces out.
+  std::size_t stability_window = 10;
+  std::uint64_t seed = 1;
+};
+
+struct CatchPhase {
+  NodeId caught = kInvalidNode;
+  std::size_t inspections = 0;         ///< nodes physically inspected
+  std::size_t wasted_inspections = 0;  ///< inspections on mole-free neighborhoods
+  std::size_t bogus_delivered = 0;     ///< bogus packets the sink absorbed
+  double duration_s = 0.0;
+  double energy_uj = 0.0;              ///< network energy burned this phase
+  bool via_loop = false;
+};
+
+struct CatchCampaignResult {
+  std::vector<CatchPhase> phases;
+  bool all_moles_caught = false;
+  /// True when remaining moles can no longer reach the sink (isolation cut
+  /// their only path) — the attack is dead even if a mole survives.
+  bool attack_neutralized = false;
+  std::size_t total_bogus_injected = 0;
+  std::size_t total_bogus_delivered = 0;
+  double total_energy_uj = 0.0;
+  double total_time_s = 0.0;
+};
+
+CatchCampaignResult run_catch_campaign(const CatchCampaignConfig& cfg);
+
+}  // namespace pnm::core

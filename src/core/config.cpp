@@ -1,0 +1,5 @@
+#include "core/config.h"
+
+// Configuration is header-only; this TU exists to give the module a home in
+// the library and keep include hygiene checked.
+namespace pnm::core {}

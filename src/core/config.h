@@ -1,0 +1,43 @@
+// Top-level protocol configuration: one struct that fixes every tunable the
+// paper discusses, with the paper's defaults.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "marking/scheme.h"
+
+namespace pnm::core {
+
+struct PnmConfig {
+  marking::SchemeKind scheme = marking::SchemeKind::kPnm;
+
+  /// Target average marks per packet (the paper fixes np = 3 and derives p
+  /// from the path length). Ignored when mark_probability is set explicitly.
+  double target_marks_per_packet = 3.0;
+
+  /// Explicit marking probability; < 0 means "derive from
+  /// target_marks_per_packet and the path length".
+  double mark_probability = -1.0;
+
+  std::size_t mac_len = 4;   ///< truncated MAC bytes per mark
+  std::size_t anon_len = 2;  ///< anonymous-ID bytes (PNM)
+
+  /// Resolve the marking probability for an n-forwarder path.
+  double probability_for_path(std::size_t forwarders) const {
+    if (mark_probability >= 0.0) return mark_probability;
+    if (forwarders == 0) return 1.0;
+    double p = target_marks_per_packet / static_cast<double>(forwarders);
+    return p > 1.0 ? 1.0 : p;
+  }
+
+  marking::SchemeConfig scheme_config(std::size_t forwarders) const {
+    marking::SchemeConfig cfg;
+    cfg.mark_probability = probability_for_path(forwarders);
+    cfg.mac_len = mac_len;
+    cfg.anon_len = anon_len;
+    return cfg;
+  }
+};
+
+}  // namespace pnm::core

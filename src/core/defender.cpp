@@ -1,0 +1,113 @@
+#include "core/defender.h"
+
+#include <algorithm>
+
+namespace pnm::core {
+
+Defender::Defender(DefenderConfig cfg, const marking::MarkingScheme& scheme,
+                   const crypto::KeyStore& keys, const net::Topology& topo,
+                   InspectionOracle inspect)
+    : cfg_(cfg),
+      topo_(topo),
+      inspect_(std::move(inspect)),
+      flows_(scheme, keys, topo),
+      authority_(keys, cfg.revocation_mac_len) {}
+
+bool Defender::already_caught(NodeId node) const {
+  return std::any_of(catches_.begin(), catches_.end(),
+                     [node](const CatchEvent& c) { return c.mole == node; });
+}
+
+std::pair<PacketDisposition, std::optional<CatchEvent>> Defender::on_packet(
+    const net::Packet& p) {
+  if (!suspicion_.suspicious(p)) {
+    ++legitimate_;
+    return {PacketDisposition::kLegitimate, std::nullopt};
+  }
+
+  switch (replay_.classify(p)) {
+    case sink::ReplayVerdict::kMalformed:
+      return {PacketDisposition::kMalformed, std::nullopt};
+    case sink::ReplayVerdict::kDuplicate:
+    case sink::ReplayVerdict::kStale:
+      ++replays_;
+      return {PacketDisposition::kReplay, std::nullopt};
+    case sink::ReplayVerdict::kFresh:
+      break;
+  }
+
+  auto flow_key = flows_.ingest(p);
+  if (!flow_key) return {PacketDisposition::kMalformed, std::nullopt};
+  ++traced_;
+
+  const sink::TracebackEngine* engine = flows_.engine(*flow_key);
+  const sink::RouteAnalysis& analysis = engine->analysis();
+  FlowState& state = flow_states_[*flow_key];
+
+  if (!analysis.identified) {
+    state.stable_stop = kInvalidNode;
+    state.stable_for = 0;
+    // Markless-flow fallback: a persistent suspicious flow in which not one
+    // mark ever verifies means the node handing us the packets is itself
+    // destroying the evidence (only the sink's radio neighbor can strip the
+    // marks of EVERY honest forwarder without any downstream node re-marking
+    // — it has no downstream). Inspect around the delivering neighbor.
+    NodeId courier = engine->last_delivered_by();
+    if (cfg_.markless_flow_threshold != 0 && courier != kInvalidNode &&
+        engine->packets_ingested() >= cfg_.markless_flow_threshold &&
+        engine->marks_verified() == 0 && !state.attempted.count(courier)) {
+      state.attempted.insert(courier);
+      CatchEvent event;
+      event.flow = *flow_key;
+      for (NodeId candidate : topo_.closed_neighborhood(courier)) {
+        ++event.inspections;
+        if (inspect_(candidate) && !already_caught(candidate)) {
+          event.mole = candidate;
+          break;
+        }
+      }
+      if (event.mole != kInvalidNode) {
+        event.revocations = authority_.revoke(event.mole, topo_);
+        catches_.push_back(event);
+        return {PacketDisposition::kTraced, catches_.back()};
+      }
+    }
+    return {PacketDisposition::kTraced, std::nullopt};
+  }
+  if (analysis.stop_node == state.stable_stop) {
+    ++state.stable_for;
+  } else {
+    state.stable_stop = analysis.stop_node;
+    state.stable_for = 1;
+  }
+  if (state.stable_for < cfg_.stability_window ||
+      state.attempted.count(analysis.stop_node)) {
+    return {PacketDisposition::kTraced, std::nullopt};
+  }
+  state.attempted.insert(analysis.stop_node);
+
+  // Dispatch the task force: stop node first, then its neighbors.
+  CatchEvent event;
+  event.flow = *flow_key;
+  event.via_loop = analysis.via_loop;
+  std::vector<NodeId> order{analysis.stop_node};
+  for (NodeId s : analysis.suspects)
+    if (s != analysis.stop_node) order.push_back(s);
+  for (NodeId candidate : order) {
+    ++event.inspections;
+    if (inspect_(candidate) && !already_caught(candidate)) {
+      event.mole = candidate;
+      break;
+    }
+  }
+  if (event.mole == kInvalidNode) {
+    // Innocent neighborhood: cost paid, keep listening.
+    return {PacketDisposition::kTraced, std::nullopt};
+  }
+
+  event.revocations = authority_.revoke(event.mole, topo_);
+  catches_.push_back(event);
+  return {PacketDisposition::kTraced, catches_.back()};
+}
+
+}  // namespace pnm::core

@@ -1,0 +1,109 @@
+// The complete sink-side defense stack, as one object.
+//
+// Everything the paper's sink does, composed in the right order for every
+// delivered packet:
+//
+//   1. suspicion   — corroborate the report against known events (§7
+//                    Background Traffic); legitimate traffic passes through;
+//   2. replay      — duplicate/stale screening (§7 Replay Attacks) so a
+//                    replayer cannot launder old marks into the traceback;
+//   3. flows       — partition suspicious traffic by claimed origin (multi-
+//                    source injection, §9) and run per-flow PNM traceback;
+//   4. catch       — when a flow's identification stabilizes, inspect the
+//                    suspect neighborhood (oracle = ground truth or a real
+//                    task force) and mint authenticated revocation orders
+//                    for the confirmed mole's neighbors (§7 Mole Isolation).
+//
+// The Defender is deliberately simulator-agnostic: feed it packets, read out
+// decisions. Wiring revocation orders into forwarders and physically
+// isolating nodes stays with the caller (see field_campaign / tests).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sink/flow_tracker.h"
+#include "sink/isolation.h"
+#include "sink/replay_guard.h"
+#include "sink/verifier.h"
+
+namespace pnm::core {
+
+struct DefenderConfig {
+  /// Consecutive suspicious packets a flow's identification must survive
+  /// before a task force is dispatched.
+  std::size_t stability_window = 10;
+  std::size_t revocation_mac_len = 4;
+  /// Last-resort rule: a flow that has delivered this many suspicious
+  /// packets without a single verifiable mark can only mean the sink's own
+  /// radio neighbor is garbling everything (a last-hop mole) — inspect the
+  /// delivering neighborhood. 0 disables.
+  std::size_t markless_flow_threshold = 30;
+};
+
+/// What happened to one ingested packet.
+enum class PacketDisposition {
+  kLegitimate,   ///< passed suspicion screening; delivered to the app
+  kReplay,       ///< duplicate/stale; quarantined, not traced
+  kMalformed,    ///< undecodable report; dropped
+  kTraced,       ///< suspicious; folded into its flow's traceback
+};
+
+struct CatchEvent {
+  NodeId mole = kInvalidNode;
+  std::size_t inspections = 0;
+  sink::FlowTracker::FlowKey flow = 0;
+  bool via_loop = false;
+  std::vector<sink::RevocationOrder> revocations;
+};
+
+class Defender {
+ public:
+  /// `inspect` models the physical inspection of a suspect node: true if it
+  /// turns out to be a mole. In simulations this is a ground-truth oracle;
+  /// in a deployment it is a task force.
+  using InspectionOracle = std::function<bool(NodeId)>;
+
+  Defender(DefenderConfig cfg, const marking::MarkingScheme& scheme,
+           const crypto::KeyStore& keys, const net::Topology& topo,
+           InspectionOracle inspect);
+
+  /// Register a corroborated real event (packets reporting it are not
+  /// suspicious).
+  void register_event(std::uint32_t event) { suspicion_.register_event(event); }
+
+  /// Process one delivered packet. If this packet completed a catch, the
+  /// CatchEvent (with ready-to-flood revocation orders) is returned.
+  std::pair<PacketDisposition, std::optional<CatchEvent>> on_packet(
+      const net::Packet& p);
+
+  // ---- observability ----
+  std::size_t legitimate_seen() const { return legitimate_; }
+  std::size_t replays_blocked() const { return replays_; }
+  std::size_t suspicious_traced() const { return traced_; }
+  const std::vector<CatchEvent>& catches() const { return catches_; }
+  const sink::FlowTracker& flows() const { return flows_; }
+  bool already_caught(NodeId node) const;
+
+ private:
+  DefenderConfig cfg_;
+  const net::Topology& topo_;
+  InspectionOracle inspect_;
+  sink::SuspicionFilter suspicion_;
+  sink::ReplayGuard replay_;
+  sink::FlowTracker flows_;
+  sink::IsolationAuthority authority_;
+
+  struct FlowState {
+    NodeId stable_stop = kInvalidNode;
+    std::size_t stable_for = 0;
+    std::set<NodeId> attempted;
+  };
+  std::map<sink::FlowTracker::FlowKey, FlowState> flow_states_;
+  std::vector<CatchEvent> catches_;
+  std::size_t legitimate_ = 0;
+  std::size_t replays_ = 0;
+  std::size_t traced_ = 0;
+};
+
+}  // namespace pnm::core

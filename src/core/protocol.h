@@ -1,0 +1,50 @@
+// Protocol deployment: binds a marking scheme, the key store, and an attack
+// scenario onto a Simulator.
+//
+//  * every legitimate node gets a handler that runs the scheme's marking step
+//    with its own key and an independent per-node random stream;
+//  * mole nodes get their MoleBehavior instead (moles never mark honestly);
+//  * the source mole fabricates packets through its SourceMole policy;
+//  * the sink hands every delivery to a caller-provided callback.
+#pragma once
+
+#include <functional>
+
+#include "attack/colluding.h"
+#include "crypto/keys.h"
+#include "marking/scheme.h"
+#include "net/simulator.h"
+
+namespace pnm::core {
+
+class Deployment {
+ public:
+  /// `scheme`, `keys`, and `scenario` must outlive the deployment.
+  Deployment(net::Simulator& sim, const marking::MarkingScheme& scheme,
+             const crypto::KeyStore& keys, attack::Scenario& scenario,
+             std::uint64_t seed);
+
+  /// Installs all node handlers (legitimate markers + moles).
+  void install();
+
+  /// Fabricates the source mole's next bogus packet and injects it.
+  void inject_bogus();
+
+  /// Injects a legitimate report from an honest node (background traffic).
+  void inject_legit(NodeId origin, const net::Report& report);
+
+  std::size_t injected() const { return injected_; }
+
+ private:
+  net::Simulator& sim_;
+  const marking::MarkingScheme& scheme_;
+  const crypto::KeyStore& keys_;
+  attack::Scenario& scenario_;
+  attack::KeyRing ring_;
+  Rng master_rng_;
+  Rng source_rng_;
+  Rng mole_rng_;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace pnm::core

@@ -1,0 +1,19 @@
+#include "crypto/anon_id.h"
+
+#include <cassert>
+
+#include "crypto/hmac.h"
+
+namespace pnm::crypto {
+
+Bytes anon_id(ByteView node_key, ByteView original_message, NodeId real_id,
+              std::size_t anon_len) {
+  assert(anon_len >= 1 && anon_len <= kSha256DigestSize);
+  ByteWriter w;
+  w.u8(0xA1);  // domain separation: anonymous-ID PRF, never a marking MAC
+  w.blob16(original_message);
+  w.u16(real_id);
+  return truncated_mac(node_key, w.bytes(), anon_len);
+}
+
+}  // namespace pnm::crypto

@@ -1,0 +1,29 @@
+// Anonymous node IDs (§4.2 of the paper).
+//
+// In PNM a marking node does not reveal its real ID i; it writes
+//   i' = H'_{k_i}(M | i)
+// where M is the original report. Binding i' to the message defeats the
+// selective-dropping attack: a colluding mole cannot tell which upstream
+// nodes marked a given packet, and the mapping changes per message so it
+// cannot be accumulated over time.
+//
+// The anonymous ID is truncated (default 2 bytes). Collisions across the
+// network are therefore possible and *expected*; the sink-side lookup
+// (sink/anon_lookup.h) returns candidate sets and disambiguates via the MAC.
+#pragma once
+
+#include <cstddef>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace pnm::crypto {
+
+inline constexpr std::size_t kDefaultAnonIdSize = 2;
+
+/// Compute the anonymous ID i' = H'_{k}(M | i), truncated to anon_len bytes.
+/// H' is domain-separated from the marking MAC by a distinct prefix tag.
+Bytes anon_id(ByteView node_key, ByteView original_message, NodeId real_id,
+              std::size_t anon_len = kDefaultAnonIdSize);
+
+}  // namespace pnm::crypto

@@ -1,0 +1,37 @@
+#include "crypto/hash_chain.h"
+
+#include <cassert>
+
+namespace pnm::crypto {
+
+Bytes HashChain::step(ByteView key) {
+  ByteWriter w;
+  w.u8(0xC4);  // domain tag: hash-chain step
+  w.raw(key);
+  Sha256Digest d = Sha256::hash(w.bytes());
+  return Bytes(d.begin(), d.begin() + 16);
+}
+
+HashChain::HashChain(ByteView seed, std::size_t length) {
+  assert(length >= 1);
+  // keys_[length] = top (secret); keys_[0] = commitment.
+  std::vector<Bytes> reversed;
+  ByteWriter top;
+  top.u8(0xC5);
+  top.raw(seed);
+  Sha256Digest d = Sha256::hash(top.bytes());
+  reversed.emplace_back(d.begin(), d.begin() + 16);
+  for (std::size_t i = 0; i < length; ++i) reversed.push_back(step(reversed.back()));
+  keys_.assign(reversed.rbegin(), reversed.rend());
+}
+
+bool HashChain::verify_key(ByteView candidate, std::size_t index, ByteView anchor,
+                           std::size_t anchor_index) {
+  if (index <= anchor_index) return false;  // keys only ever move forward
+  // Walking DOWN the chain from the candidate must reach the anchor.
+  Bytes walk(candidate.begin(), candidate.end());
+  for (std::size_t i = index; i > anchor_index; --i) walk = step(walk);
+  return constant_time_equal(walk, anchor);
+}
+
+}  // namespace pnm::crypto

@@ -1,0 +1,42 @@
+// One-way hash chains — the substrate for µTESLA-style broadcast
+// authentication (SPINS; Perrig et al.), used here to flood revocation
+// orders with ONE authenticated message instead of per-neighbor unicast.
+//
+// The owner draws K_n at random and publishes the commitment
+// K_0 = H^n(K_n). Keys are disclosed in reverse (K_1, K_2, ...); any
+// receiver holding an authenticated earlier key K_i verifies a disclosed
+// K_j (j > i) by hashing it j-i times. One-wayness of H means nobody can
+// produce K_{i+1} from K_i ahead of its disclosure.
+#pragma once
+
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace pnm::crypto {
+
+class HashChain {
+ public:
+  /// Builds a chain of `length` keys above the seed. Index 0 is the public
+  /// commitment; indices 1..length are disclosable keys in disclosure order.
+  HashChain(ByteView seed, std::size_t length);
+
+  const Bytes& commitment() const { return keys_.front(); }
+  /// Key `index` in [1, length]: disclosed at epoch `index`.
+  const Bytes& key(std::size_t index) const { return keys_.at(index); }
+  std::size_t length() const { return keys_.size() - 1; }
+
+  /// Verify that `candidate` is the chain's key for `index`, given a trusted
+  /// `anchor` known to be the key for `anchor_index` (commitment = index 0).
+  static bool verify_key(ByteView candidate, std::size_t index, ByteView anchor,
+                         std::size_t anchor_index);
+
+  /// One application of the chain's hash step (public, for verification).
+  static Bytes step(ByteView key);
+
+ private:
+  std::vector<Bytes> keys_;  ///< index 0 = commitment ... length = top secret
+};
+
+}  // namespace pnm::crypto

@@ -1,0 +1,47 @@
+#include "crypto/hmac.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pnm::crypto {
+
+Sha256Digest hmac_sha256(ByteView key, ByteView data) {
+  std::uint8_t block[64];
+  std::memset(block, 0, sizeof(block));
+  if (key.size() > 64) {
+    Sha256Digest kh = Sha256::hash(key);
+    std::memcpy(block, kh.data(), kh.size());
+  } else {
+    std::memcpy(block, key.data(), key.size());
+  }
+
+  std::uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ByteView(ipad, 64));
+  inner.update(data);
+  Sha256Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(ByteView(opad, 64));
+  outer.update(ByteView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+Bytes truncated_mac(ByteView key, ByteView data, std::size_t mac_len) {
+  assert(mac_len >= 1 && mac_len <= kSha256DigestSize);
+  Sha256Digest full = hmac_sha256(key, data);
+  return Bytes(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(mac_len));
+}
+
+bool verify_mac(ByteView key, ByteView data, ByteView mac) {
+  if (mac.empty() || mac.size() > kSha256DigestSize) return false;
+  Sha256Digest full = hmac_sha256(key, data);
+  return constant_time_equal(ByteView(full.data(), mac.size()), mac);
+}
+
+}  // namespace pnm::crypto

@@ -1,0 +1,22 @@
+// HMAC-SHA256 (RFC 2104) and the truncated-MAC helper used by every marking
+// scheme. Sensor marks carry short MACs (default 4 bytes) to respect the
+// paper's tight per-packet budget; truncation width is configurable so the
+// security/overhead trade-off can be swept in benchmarks.
+#pragma once
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace pnm::crypto {
+
+/// Full 32-byte HMAC-SHA256 of `data` under `key`.
+Sha256Digest hmac_sha256(ByteView key, ByteView data);
+
+/// HMAC-SHA256 truncated to `mac_len` bytes (RFC 2104 §5 leftmost bytes).
+/// mac_len must be in [1, 32].
+Bytes truncated_mac(ByteView key, ByteView data, std::size_t mac_len);
+
+/// Verify a truncated MAC in constant time.
+bool verify_mac(ByteView key, ByteView data, ByteView mac);
+
+}  // namespace pnm::crypto

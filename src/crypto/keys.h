@@ -1,0 +1,38 @@
+// Per-node symmetric keys. The paper assumes each node shares a unique secret
+// key with the sink, pre-loaded before deployment; the sink keeps a lookup
+// table over all (ID, key) pairs. We derive the per-node keys from a single
+// master secret with a PRF, which models pre-deployment key loading while
+// keeping experiments reproducible from one seed.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace pnm::crypto {
+
+inline constexpr std::size_t kKeySize = 16;
+
+/// The sink-side key table. Node i's key is PRF(master, i); a compromised
+/// node ("mole") leaks exactly its own key to the adversary, which the attack
+/// module models by querying this same table for the mole's ID.
+class KeyStore {
+ public:
+  /// Creates keys for node IDs [0, node_count). ID 0 is the sink itself.
+  KeyStore(ByteView master_secret, std::size_t node_count);
+
+  /// Key of node `id`; nullopt if the ID is out of range.
+  std::optional<Bytes> key(NodeId id) const;
+
+  /// Unchecked access for hot verification paths; `id` must be < size().
+  ByteView key_unchecked(NodeId id) const;
+
+  std::size_t size() const { return keys_.size(); }
+
+ private:
+  std::vector<Bytes> keys_;
+};
+
+}  // namespace pnm::crypto

@@ -1,0 +1,18 @@
+#include "crypto/pairwise.h"
+
+#include <algorithm>
+
+#include "crypto/hmac.h"
+
+namespace pnm::crypto {
+
+Bytes PairwiseKeys::key(NodeId a, NodeId b) const {
+  ByteWriter w;
+  w.raw(ByteView(reinterpret_cast<const std::uint8_t*>("pnm-pair-key"), 12));
+  w.u16(std::min(a, b));
+  w.u16(std::max(a, b));
+  Sha256Digest d = hmac_sha256(master_, w.bytes());
+  return Bytes(d.begin(), d.begin() + kKeySize);
+}
+
+}  // namespace pnm::crypto

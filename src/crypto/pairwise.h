@@ -1,0 +1,30 @@
+// Pairwise neighbor keys (§7 "Traceback Precision", §9 future work).
+//
+// PNM alone stops at a one-hop neighborhood because a mole "can claim
+// different identities in communicating with its neighbors". If neighboring
+// nodes additionally share pairwise keys, a marking node can authenticate
+// WHO it received the packet from, and the paper notes this sharpens
+// traceback to a pair of neighboring nodes. Keys are derived from a master
+// secret per unordered node pair — the standard stand-in for any pairwise
+// key-establishment scheme (both endpoints hold the key, nobody else does).
+#pragma once
+
+#include "crypto/keys.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace pnm::crypto {
+
+class PairwiseKeys {
+ public:
+  explicit PairwiseKeys(ByteView master_secret)
+      : master_(master_secret.begin(), master_secret.end()) {}
+
+  /// Key shared by the unordered pair {a, b}; key(a,b) == key(b,a).
+  Bytes key(NodeId a, NodeId b) const;
+
+ private:
+  Bytes master_;
+};
+
+}  // namespace pnm::crypto

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4) implemented from scratch: the only hash primitive the
+// paper's design needs. Streaming interface so HMAC can reuse one context.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace pnm::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteView data);
+  /// Finalizes and returns the digest; the context must be reset() before
+  /// further use.
+  Sha256Digest finish();
+
+  /// One-shot convenience.
+  static Sha256Digest hash(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t total_len_ = 0;
+  std::uint8_t buffer_[64];
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace pnm::crypto

@@ -1,0 +1,143 @@
+#include "filter/ihop.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/hmac.h"
+
+namespace pnm::filter {
+
+namespace {
+
+/// Virtual IDs for the detecting-cluster endorsers (not deployed nodes).
+NodeId cluster_slot_tag(std::size_t slot) {
+  return static_cast<NodeId>(0x8000u | slot);
+}
+
+bool contains(const std::vector<NodeId>& v, NodeId id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+}  // namespace
+
+IhopContext::IhopContext(ByteView master_secret, std::vector<NodeId> path, std::size_t t)
+    : master_(master_secret.begin(), master_secret.end()),
+      path_(std::move(path)),
+      t_(t) {
+  assert(path_.size() > t_ && "path must be longer than the threshold");
+}
+
+Bytes IhopContext::association_key(NodeId endorser_tag, NodeId verifier) const {
+  ByteWriter w;
+  w.raw(ByteView(reinterpret_cast<const std::uint8_t*>("ihop-assoc"), 10));
+  w.u16(endorser_tag);
+  w.u16(verifier);
+  crypto::Sha256Digest d = crypto::hmac_sha256(master_, w.bytes());
+  return Bytes(d.begin(), d.begin() + crypto::kKeySize);
+}
+
+Bytes IhopContext::mac_for(ByteView report, NodeId endorser_tag, NodeId verifier) const {
+  ByteWriter w;
+  w.u8(0x1B);  // domain tag: ihop endorsement
+  w.blob16(report);
+  w.u16(endorser_tag);
+  w.u16(verifier);
+  return crypto::truncated_mac(association_key(endorser_tag, verifier), w.bytes(), 4);
+}
+
+NodeId IhopContext::downstream_associate(std::size_t index) const {
+  std::size_t down = index + t_ + 1;
+  return down < path_.size() ? path_[down] : kSinkId;
+}
+
+IhopReport IhopContext::make_legit_report(ByteView report) const {
+  IhopReport out;
+  out.report.assign(report.begin(), report.end());
+  // Cluster slot k endorses toward the k-th path node.
+  for (std::size_t k = 0; k <= t_; ++k) {
+    IhopMac m;
+    m.verifier = path_[k];
+    m.mac = mac_for(report, cluster_slot_tag(k), path_[k]);
+    out.macs.push_back(std::move(m));
+  }
+  return out;
+}
+
+IhopReport IhopContext::make_forged_report(ByteView report,
+                                           const std::vector<NodeId>& compromised) const {
+  IhopReport out;
+  out.report.assign(report.begin(), report.end());
+  for (std::size_t k = 0; k <= t_; ++k) {
+    IhopMac m;
+    m.verifier = path_[k];
+    if (contains(compromised, cluster_slot_tag(k))) {
+      // A captured cluster member: its association key is leaked.
+      m.mac = mac_for(report, cluster_slot_tag(k), path_[k]);
+    } else {
+      m.mac = Bytes{0xde, 0xad, 0xbe, 0xef};  // forged blindly
+    }
+    out.macs.push_back(std::move(m));
+  }
+  return out;
+}
+
+bool IhopContext::process_at(std::size_t index, IhopReport& r) const {
+  assert(index < path_.size());
+  NodeId self = path_[index];
+  auto it = std::find_if(r.macs.begin(), r.macs.end(),
+                         [self](const IhopMac& m) { return m.verifier == self; });
+  if (it == r.macs.end()) return false;  // my endorsement is missing: forged
+
+  NodeId expected_endorser = index <= t_ ? cluster_slot_tag(index)
+                                         : path_[index - t_ - 1];
+  Bytes expected = mac_for(r.report, expected_endorser, self);
+  if (!constant_time_equal(expected, it->mac)) return false;
+
+  // Consume my endorsement and vouch onward to my downstream associate.
+  r.macs.erase(it);
+  IhopMac fresh;
+  fresh.verifier = downstream_associate(index);
+  fresh.mac = mac_for(r.report, self, fresh.verifier);
+  r.macs.push_back(std::move(fresh));
+  return true;
+}
+
+bool IhopContext::check_at_sink(const IhopReport& r) const {
+  if (r.macs.size() != t_ + 1) return false;
+  // The surviving endorsements must be exactly those of the last t+1 path
+  // nodes, all addressed to the sink.
+  for (std::size_t k = 0; k <= t_; ++k) {
+    NodeId endorser = path_[path_.size() - 1 - k];
+    Bytes expected = mac_for(r.report, endorser, kSinkId);
+    bool found = std::any_of(r.macs.begin(), r.macs.end(), [&](const IhopMac& m) {
+      return m.verifier == kSinkId && constant_time_equal(m.mac, expected);
+    });
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::size_t IhopContext::hops_survived(IhopReport r) const {
+  return hops_survived(std::move(r), {});
+}
+
+std::size_t IhopContext::hops_survived(IhopReport r,
+                                       const std::vector<NodeId>& compromised) const {
+  for (std::size_t i = 0; i < path_.size(); ++i) {
+    NodeId self = path_[i];
+    if (contains(compromised, self)) {
+      // A mole never drops its accomplices' traffic: discard whatever was
+      // addressed to it and vouch onward with its own, genuine key.
+      std::erase_if(r.macs, [self](const IhopMac& m) { return m.verifier == self; });
+      IhopMac fresh;
+      fresh.verifier = downstream_associate(i);
+      fresh.mac = mac_for(r.report, self, fresh.verifier);
+      r.macs.push_back(std::move(fresh));
+      continue;
+    }
+    if (!process_at(i, r)) return i;
+  }
+  return check_at_sink(r) ? path_.size() : path_.size() - 1;
+}
+
+}  // namespace pnm::filter

@@ -1,0 +1,93 @@
+// Interleaved hop-by-hop authentication (Zhu, Setia, Jajodia, Ning — IEEE
+// S&P 2004; the paper's reference [14], second member of the en-route
+// filtering family PNM complements).
+//
+// Idea: along a forwarding path, each node shares an ASSOCIATION key with
+// the node t+1 hops upstream and t+1 hops downstream. A legitimate event is
+// endorsed by a cluster of t+1 detecting nodes; each endorsement MAC is
+// addressed to the endorser's downstream associate. A forwarding node
+// verifies the MAC addressed to it (from its upstream associate, t+1 hops
+// back), strips it, and appends a fresh MAC for its own downstream
+// associate. As long as at most t nodes are compromised, a forged report
+// always hits an honest verifier whose upstream associate never endorsed it
+// — and is dropped within t+1 hops.
+//
+// We model the association structure directly over a known path (the real
+// protocol builds it during route discovery); keys derive from a master
+// secret per ordered pair, standing in for the neighbor-establishment
+// handshakes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/pairwise.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace pnm::filter {
+
+/// One in-flight endorsement: a MAC addressed to a specific path node.
+struct IhopMac {
+  NodeId verifier = kInvalidNode;  ///< who is expected to check & replace it
+  Bytes mac;
+};
+
+struct IhopReport {
+  Bytes report;
+  std::vector<IhopMac> macs;  ///< exactly t+1 entries on a healthy report
+};
+
+class IhopContext {
+ public:
+  /// `path`: source-side first, sink last (the forwarding chain, source and
+  /// detecting cluster upstream of path.front()). `t`: security threshold —
+  /// tolerates up to t compromised nodes.
+  IhopContext(ByteView master_secret, std::vector<NodeId> path, std::size_t t);
+
+  std::size_t t() const { return t_; }
+  const std::vector<NodeId>& path() const { return path_; }
+
+  /// A legitimately detected event: the t+1 cluster nodes endorse it, each
+  /// MAC addressed to one of the first t+1 path nodes.
+  IhopReport make_legit_report(ByteView report) const;
+
+  /// A forgery by colluders holding `compromised` path/cluster positions:
+  /// valid MACs where they own the keys, junk elsewhere.
+  IhopReport make_forged_report(ByteView report,
+                                const std::vector<NodeId>& compromised) const;
+
+  /// En-route processing at path position `index`: verify the MAC addressed
+  /// to this node, strip it, append a fresh MAC for the downstream
+  /// associate. Returns false = drop (failed verification or malformed).
+  bool process_at(std::size_t index, IhopReport& r) const;
+
+  /// Sink-side final check.
+  bool check_at_sink(const IhopReport& r) const;
+
+  /// Run the whole pipeline; returns the number of hops travelled before a
+  /// drop (path.size() means it reached the sink and passed there too).
+  std::size_t hops_survived(IhopReport r) const;
+
+  /// Same, but path nodes listed in `compromised` process fraudulently:
+  /// they skip verification and still vouch onward with their own (real)
+  /// association keys — the colluding-forwarder dynamics of [14]. With at
+  /// most t compromised nodes, a forged report still dies at the first
+  /// honest verifier whose upstream associate is honest.
+  std::size_t hops_survived(IhopReport r, const std::vector<NodeId>& compromised) const;
+
+ private:
+  /// Association key between an endorser slot and a verifier node. The
+  /// "cluster" endorsers are virtual upstream slots addressed by negative
+  /// offsets; we key them by the verifier and slot index.
+  Bytes association_key(NodeId endorser_tag, NodeId verifier) const;
+  Bytes mac_for(ByteView report, NodeId endorser_tag, NodeId verifier) const;
+  /// The node (or sink marker kSinkId) t_+1 positions downstream of `index`.
+  NodeId downstream_associate(std::size_t index) const;
+
+  Bytes master_;
+  std::vector<NodeId> path_;
+  std::size_t t_;
+};
+
+}  // namespace pnm::filter

@@ -1,0 +1,127 @@
+#include "filter/sef.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/hmac.h"
+
+namespace pnm::filter {
+
+SefContext::SefContext(ByteView master_secret, SefParams params)
+    : master_(master_secret.begin(), master_secret.end()), params_(params) {
+  assert(params_.partitions >= params_.endorsements);
+  assert(params_.endorsements >= 1);
+}
+
+Bytes SefContext::partition_key(std::uint16_t partition) const {
+  ByteWriter w;
+  w.raw(ByteView(reinterpret_cast<const std::uint8_t*>("sef-partition"), 13));
+  w.u16(partition);
+  crypto::Sha256Digest d = crypto::hmac_sha256(master_, w.bytes());
+  return Bytes(d.begin(), d.begin() + crypto::kKeySize);
+}
+
+std::uint16_t SefContext::partition_of(NodeId node) const {
+  ByteWriter w;
+  w.raw(ByteView(reinterpret_cast<const std::uint8_t*>("sef-assign"), 10));
+  w.u16(node);
+  crypto::Sha256Digest d = crypto::hmac_sha256(master_, w.bytes());
+  std::uint16_t raw = static_cast<std::uint16_t>(d[0] | (d[1] << 8));
+  return static_cast<std::uint16_t>(raw % params_.partitions);
+}
+
+Endorsement SefContext::endorse(ByteView report, std::uint16_t partition) const {
+  Endorsement e;
+  e.partition = partition;
+  e.mac = crypto::truncated_mac(partition_key(partition), report, params_.mac_len);
+  return e;
+}
+
+SefReport SefContext::make_legit_report(ByteView report, Rng& rng) const {
+  SefReport out;
+  out.report.assign(report.begin(), report.end());
+  std::vector<std::uint16_t> all(params_.partitions);
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::uint16_t>(i);
+  rng.shuffle(all);
+  for (std::size_t i = 0; i < params_.endorsements; ++i)
+    out.endorsements.push_back(endorse(report, all[i]));
+  return out;
+}
+
+SefReport SefContext::make_forged_report(
+    ByteView report, const std::vector<std::uint16_t>& owned_partitions, Rng& rng) const {
+  SefReport out;
+  out.report.assign(report.begin(), report.end());
+
+  std::vector<std::uint16_t> owned = owned_partitions;
+  std::sort(owned.begin(), owned.end());
+  owned.erase(std::unique(owned.begin(), owned.end()), owned.end());
+
+  // Valid endorsements for what the moles own (capped at T)...
+  for (std::size_t i = 0; i < owned.size() && out.endorsements.size() < params_.endorsements;
+       ++i) {
+    out.endorsements.push_back(endorse(report, owned[i]));
+  }
+  // ...then forged ones for other partitions until T are present.
+  std::vector<std::uint16_t> rest;
+  for (std::size_t partition = 0; partition < params_.partitions; ++partition) {
+    auto id = static_cast<std::uint16_t>(partition);
+    if (!std::binary_search(owned.begin(), owned.end(), id)) rest.push_back(id);
+  }
+  rng.shuffle(rest);
+  for (std::size_t i = 0; out.endorsements.size() < params_.endorsements; ++i) {
+    Endorsement fake;
+    fake.partition = rest.at(i);
+    fake.mac.resize(params_.mac_len);
+    for (auto& b : fake.mac) b = static_cast<std::uint8_t>(rng.next_below(256));
+    out.endorsements.push_back(std::move(fake));
+  }
+  return out;
+}
+
+bool SefContext::check_en_route(NodeId node, const SefReport& r) const {
+  // Malformed endorsement sets are dropped outright by any forwarder.
+  if (r.endorsements.size() != params_.endorsements) return false;
+  std::uint16_t mine = partition_of(node);
+  for (const Endorsement& e : r.endorsements) {
+    if (e.partition != mine) continue;
+    Bytes expected = crypto::truncated_mac(partition_key(mine), r.report, params_.mac_len);
+    if (!constant_time_equal(expected, e.mac)) return false;
+  }
+  return true;
+}
+
+bool SefContext::check_at_sink(const SefReport& r) const {
+  if (r.endorsements.size() != params_.endorsements) return false;
+  std::vector<std::uint16_t> seen;
+  for (const Endorsement& e : r.endorsements) {
+    if (e.partition >= params_.partitions) return false;
+    if (std::find(seen.begin(), seen.end(), e.partition) != seen.end()) return false;
+    seen.push_back(e.partition);
+    Bytes expected =
+        crypto::truncated_mac(partition_key(e.partition), r.report, params_.mac_len);
+    if (!constant_time_equal(expected, e.mac)) return false;
+  }
+  return true;
+}
+
+double SefContext::per_hop_drop_probability(std::size_t owned) const {
+  owned = std::min(owned, params_.endorsements);
+  return static_cast<double>(params_.endorsements - owned) /
+         static_cast<double>(params_.partitions);
+}
+
+double SefContext::expected_hops_travelled(std::size_t owned, std::size_t path_hops) const {
+  double q = per_hop_drop_probability(owned);
+  if (q <= 0.0) return static_cast<double>(path_hops);
+  // E[min(Geom(q), n)] = sum_{h=1..n} (1-q)^{h-1}
+  double survive = 1.0;
+  double total = 0.0;
+  for (std::size_t h = 1; h <= path_hops; ++h) {
+    total += survive;
+    survive *= (1.0 - q);
+  }
+  return total;
+}
+
+}  // namespace pnm::filter

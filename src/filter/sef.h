@@ -1,0 +1,93 @@
+// Statistical En-route Filtering substrate (Ye et al., INFOCOM 2004 — the
+// paper's reference [12]).
+//
+// The mole paper positions PNM as the *active* complement to the *passive*
+// en-route filtering line of work: filters drop some bogus reports after a
+// few hops but "do not prevent moles from continuing to inject". We build a
+// compact SEF model so examples and the damage benchmark can show the two
+// working together — filtering limits per-packet damage, PNM removes the
+// mole entirely.
+//
+// Model: a global pool of m key partitions; each node is pre-loaded with one
+// partition key. A legitimate event is witnessed by a detecting cluster and
+// endorsed with T MACs from T distinct partitions. A mole owns only the
+// partitions of the compromised nodes, so it must forge the remaining
+// endorsements; each forwarding hop checks any endorsement matching its own
+// partition and drops reports with forged ones. The filtering probability
+// per hop is (T - owned) / m, exactly SEF's headline result.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+#include "util/rng.h"
+
+namespace pnm::filter {
+
+struct SefParams {
+  std::size_t partitions = 10;    ///< m: global key partitions
+  std::size_t endorsements = 5;   ///< T: MACs a valid report must carry
+  std::size_t mac_len = 4;
+};
+
+struct Endorsement {
+  std::uint16_t partition = 0;
+  Bytes mac;
+};
+
+/// A report plus its endorsement set (SEF rides above the traceback layer;
+/// we keep its wire format separate for clarity).
+struct SefReport {
+  Bytes report;
+  std::vector<Endorsement> endorsements;
+};
+
+class SefContext {
+ public:
+  SefContext(ByteView master_secret, SefParams params);
+
+  const SefParams& params() const { return params_; }
+
+  /// Deterministic partition assignment for a node.
+  std::uint16_t partition_of(NodeId node) const;
+
+  /// Endorse `report` with partition `partition`'s key.
+  Endorsement endorse(ByteView report, std::uint16_t partition) const;
+
+  /// Legitimate report: endorsed by T distinct partitions (drawn randomly,
+  /// as a detecting cluster would supply).
+  SefReport make_legit_report(ByteView report, Rng& rng) const;
+
+  /// Forged report from moles owning `owned_partitions`: valid endorsements
+  /// for owned partitions, random garbage for the rest (it must still carry
+  /// T endorsements from distinct partitions to look plausible).
+  SefReport make_forged_report(ByteView report,
+                               const std::vector<std::uint16_t>& owned_partitions,
+                               Rng& rng) const;
+
+  /// En-route check at `node`: false = drop. The node verifies only the
+  /// endorsement matching its own partition, if present.
+  bool check_en_route(NodeId node, const SefReport& r) const;
+
+  /// Full verification at the sink (knows all partition keys).
+  bool check_at_sink(const SefReport& r) const;
+
+  /// Analytic per-hop drop probability for a forged report whose moles own
+  /// `owned` distinct partitions: (T - owned)/m.
+  double per_hop_drop_probability(std::size_t owned) const;
+
+  /// Expected hops a forged report travels before being dropped, on an
+  /// n-hop path (conditional expectation truncated at n).
+  double expected_hops_travelled(std::size_t owned, std::size_t path_hops) const;
+
+ private:
+  Bytes partition_key(std::uint16_t partition) const;
+
+  Bytes master_;
+  SefParams params_;
+};
+
+}  // namespace pnm::filter

@@ -1,0 +1,43 @@
+// SEF as a simulator layer: per-node en-route checking stacked under any
+// marking handler. The paper positions PNM as the active complement to
+// passive filtering (§8); this layer is how the two actually compose in a
+// deployment — every forwarder first applies its SEF check (shedding forged
+// reports probabilistically), then the surviving packets get marked for
+// traceback.
+//
+// Endorsements are derived deterministically from the report bytes (they are
+// fixed when the report is created; every hop must see the same ones), with
+// the forged/legitimate decision taken from the packet's ground truth.
+#pragma once
+
+#include "filter/sef.h"
+#include "net/simulator.h"
+
+namespace pnm::filter {
+
+class SefLayer {
+ public:
+  /// `owned_partitions`: the key partitions the adversary compromised; bogus
+  /// reports carry valid endorsements for those and forgeries for the rest.
+  SefLayer(SefContext ctx, std::vector<std::uint16_t> owned_partitions)
+      : ctx_(std::move(ctx)), owned_(std::move(owned_partitions)) {}
+
+  const SefContext& context() const { return ctx_; }
+
+  /// The endorsement set a report carries on the wire, reconstructed
+  /// deterministically from its bytes.
+  SefReport view_of(ByteView report, bool forged) const;
+
+  /// True if node `self` lets the packet through its SEF check.
+  bool passes(NodeId self, const net::Packet& p) const;
+
+  /// Stack the SEF check under an inner handler: drop on check failure,
+  /// otherwise delegate. Counts drops into `*dropped` when non-null.
+  net::NodeHandler wrap(net::NodeHandler inner, std::size_t* dropped = nullptr) const;
+
+ private:
+  SefContext ctx_;
+  std::vector<std::uint16_t> owned_;
+};
+
+}  // namespace pnm::filter

@@ -1,0 +1,42 @@
+#include "marking/extended_ams.h"
+
+#include "crypto/hmac.h"
+#include "marking/mark.h"
+
+namespace pnm::marking {
+
+void ExtendedAms::mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const {
+  if (!rng.chance(cfg_.mark_probability)) return;
+  p.marks.push_back(make_mark(p, self, key, rng));
+}
+
+net::Mark ExtendedAms::make_mark(const net::Packet& p, NodeId claimed, ByteView key,
+                                 Rng&) const {
+  Bytes id_field = encode_id(claimed);
+  Bytes mac = crypto::truncated_mac(key, ams_mac_input(p, id_field), cfg_.mac_len);
+  return net::Mark{std::move(id_field), std::move(mac)};
+}
+
+VerifyResult ExtendedAms::verify(const net::Packet& p, const crypto::KeyStore& keys) const {
+  VerifyResult out;
+  out.total_marks = p.marks.size();
+  // Marks verify independently; an invalid one is discarded but does not
+  // invalidate the rest. That independence is precisely the weakness.
+  for (std::size_t i = 0; i < p.marks.size(); ++i) {
+    const net::Mark& m = p.marks[i];
+    auto id = decode_id(m.id_field);
+    if (!id || *id == kSinkId) {
+      ++out.invalid_marks;
+      continue;
+    }
+    auto key = keys.key(*id);
+    if (!key || !crypto::verify_mac(*key, ams_mac_input(p, m.id_field), m.mac)) {
+      ++out.invalid_marks;
+      continue;
+    }
+    out.chain.push_back(VerifiedMark{*id, i});
+  }
+  return out;
+}
+
+}  // namespace pnm::marking

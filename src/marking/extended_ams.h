@@ -1,0 +1,30 @@
+// Extended Authenticated Marking Scheme (§3).
+//
+// Song & Perrig's AMS (INFOCOM 2001) protects each mark with a keyed hash:
+// node V_i marks H_{k_i}(src | dst | i). The paper extends it to the sensor
+// setting: multiple marks per packet (appended, one per forwarding node) and
+// the destination dropped since the sink is well known, i.e. each mark is
+//   ( i, H_{k_i}(M | i) )
+// with M the original report. Every mark is individually unforgeable — but a
+// mark does NOT cover the marks before it, so a colluding mole can remove,
+// re-order, or selectively pass upstream marks without invalidating anything
+// downstream. This is the baseline PNM is proven strictly stronger than.
+#pragma once
+
+#include "marking/scheme.h"
+
+namespace pnm::marking {
+
+class ExtendedAms final : public MarkingScheme {
+ public:
+  explicit ExtendedAms(SchemeConfig cfg) : MarkingScheme(cfg) {}
+
+  std::string_view name() const override { return "extended-ams"; }
+  bool plaintext_ids() const override { return true; }
+  void mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const override;
+  net::Mark make_mark(const net::Packet& p, NodeId claimed, ByteView key,
+                      Rng& rng) const override;
+  VerifyResult verify(const net::Packet& p, const crypto::KeyStore& keys) const override;
+};
+
+}  // namespace pnm::marking

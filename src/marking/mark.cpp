@@ -1,0 +1,46 @@
+#include "marking/mark.h"
+
+namespace pnm::marking {
+
+Bytes message_prefix(const net::Packet& p, std::size_t mark_count) {
+  ByteWriter w;
+  w.blob16(p.report);
+  for (std::size_t i = 0; i < mark_count && i < p.marks.size(); ++i) {
+    w.blob16(p.marks[i].id_field);
+    w.blob16(p.marks[i].mac);
+  }
+  return std::move(w).take();
+}
+
+Bytes nested_mac_input(const net::Packet& p, std::size_t mark_count, ByteView id_field) {
+  // Leading family tag: without it, a first nested mark (empty prefix) would
+  // be byte-identical to an AMS mark over the same report — cross-scheme
+  // confusion caught by MarkingFixture.CrossSchemeConfusionRejected.
+  ByteWriter w;
+  w.u8(0xA0);  // domain tag: nested-family marking MAC
+  w.raw(message_prefix(p, mark_count));
+  w.blob16(id_field);
+  return std::move(w).take();
+}
+
+Bytes ams_mac_input(const net::Packet& p, ByteView id_field) {
+  ByteWriter w;
+  w.u8(0xA3);  // domain tag: AMS-style per-mark MAC
+  w.blob16(p.report);
+  w.blob16(id_field);
+  return std::move(w).take();
+}
+
+Bytes encode_id(NodeId id) {
+  ByteWriter w;
+  w.u16(id);
+  return std::move(w).take();
+}
+
+std::optional<NodeId> decode_id(ByteView id_field) {
+  if (id_field.size() != 2) return std::nullopt;
+  ByteReader r(id_field);
+  return r.u16();
+}
+
+}  // namespace pnm::marking

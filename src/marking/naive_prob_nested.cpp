@@ -1,0 +1,4 @@
+#include "marking/naive_prob_nested.h"
+
+// All behavior inherited from NestedMarking; this TU anchors the vtable.
+namespace pnm::marking {}

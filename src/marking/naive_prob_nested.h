@@ -1,0 +1,23 @@
+// The "incorrect extension" of §4.2: nested marking where each node marks
+// with probability p but still writes its PLAINTEXT ID. Wire format and
+// verification are identical to NestedMarking; only the coin flip differs.
+//
+// Because a packet now carries only a random sample of the path and the IDs
+// are readable in flight, a colluding mole can selectively drop exactly those
+// packets whose mark sets would expose it — steering the sink's traceback to
+// an innocent upstream node. PNM exists because of this scheme's failure;
+// keeping it lets the attack-matrix bench demonstrate the failure.
+#pragma once
+
+#include "marking/nested.h"
+
+namespace pnm::marking {
+
+class NaiveProbNested final : public NestedMarking {
+ public:
+  explicit NaiveProbNested(SchemeConfig cfg) : NestedMarking(cfg, /*probabilistic=*/true) {}
+
+  std::string_view name() const override { return "naive-prob-nested"; }
+};
+
+}  // namespace pnm::marking

@@ -1,0 +1,47 @@
+#include "marking/nested.h"
+
+#include "crypto/hmac.h"
+#include "marking/mark.h"
+
+namespace pnm::marking {
+
+void NestedMarking::mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const {
+  if (!rng.chance(cfg_.mark_probability)) return;
+  p.marks.push_back(make_mark(p, self, key, rng));
+}
+
+net::Mark NestedMarking::make_mark(const net::Packet& p, NodeId claimed, ByteView key,
+                                   Rng&) const {
+  Bytes id_field = encode_id(claimed);
+  Bytes mac = crypto::truncated_mac(key, nested_mac_input(p, p.marks.size(), id_field),
+                                    cfg_.mac_len);
+  return net::Mark{std::move(id_field), std::move(mac)};
+}
+
+VerifyResult NestedMarking::verify(const net::Packet& p, const crypto::KeyStore& keys) const {
+  VerifyResult out;
+  out.total_marks = p.marks.size();
+  // Backward pass: the last mark's MAC covers the whole packet before it, so
+  // a valid MAC at position j certifies the byte-exact prefix 0..j-1 as the
+  // message the marking node received. Stop at the first invalid MAC — the
+  // prefix behind it is untrustworthy.
+  for (std::size_t j = p.marks.size(); j-- > 0;) {
+    const net::Mark& m = p.marks[j];
+    auto id = decode_id(m.id_field);
+    bool valid = false;
+    if (id && *id != kSinkId) {
+      if (auto key = keys.key(*id)) {
+        valid = crypto::verify_mac(*key, nested_mac_input(p, j, m.id_field), m.mac);
+      }
+    }
+    if (!valid) {
+      out.invalid_marks = j + 1;  // this mark and everything under it
+      out.truncated_by_invalid = true;
+      break;
+    }
+    out.chain.insert(out.chain.begin(), VerifiedMark{*id, j});
+  }
+  return out;
+}
+
+}  // namespace pnm::marking

@@ -1,0 +1,38 @@
+// Basic nested marking (§4.1) — the paper's core mechanism.
+//
+// Every forwarding node V_i appends ( i, H_{k_i}(M_{i-1} | i) ) where M_{i-1}
+// is the ENTIRE message it received: report plus all existing marks. The MAC
+// therefore binds V_i's mark to everything upstream; tampering with any
+// previous ID, MAC, or their order invalidates every honest mark added
+// afterwards. The sink verifies back-to-front and stops at the first bad MAC:
+// the stop node's one-hop neighborhood must contain a mole (Theorems 1-2).
+//
+// Deterministic (p = 1): every packet carries the full path, so traceback
+// needs a single packet — at the cost of n marks of overhead per packet.
+#pragma once
+
+#include "marking/scheme.h"
+
+namespace pnm::marking {
+
+class NestedMarking : public MarkingScheme {
+ public:
+  explicit NestedMarking(SchemeConfig cfg) : MarkingScheme(cfg) {
+    cfg_.mark_probability = 1.0;  // basic nested marking marks every packet
+  }
+
+  std::string_view name() const override { return "nested"; }
+  bool plaintext_ids() const override { return true; }
+  void mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const override;
+  net::Mark make_mark(const net::Packet& p, NodeId claimed, ByteView key,
+                      Rng& rng) const override;
+  VerifyResult verify(const net::Packet& p, const crypto::KeyStore& keys) const override;
+
+ protected:
+  /// Shared with NaiveProbNested (identical wire format and verification).
+  NestedMarking(SchemeConfig cfg, bool probabilistic) : MarkingScheme(cfg) {
+    if (!probabilistic) cfg_.mark_probability = 1.0;
+  }
+};
+
+}  // namespace pnm::marking

@@ -1,0 +1,19 @@
+#include "marking/no_marking.h"
+
+#include "marking/mark.h"
+
+namespace pnm::marking {
+
+net::Mark NoMarking::make_mark(const net::Packet&, NodeId claimed, ByteView, Rng&) const {
+  return net::Mark{encode_id(claimed), {}};
+}
+
+VerifyResult NoMarking::verify(const net::Packet& p, const crypto::KeyStore&) const {
+  VerifyResult out;
+  out.total_marks = p.marks.size();
+  // Without MACs nothing can be trusted; any marks present are inserted junk.
+  out.invalid_marks = p.marks.size();
+  return out;
+}
+
+}  // namespace pnm::marking

@@ -1,0 +1,22 @@
+// Null scheme: nodes forward without marking. The traceback engine can only
+// ever suspect the sink's radio-layer previous hop. Baseline for the damage
+// benchmark (what an unprotected network loses).
+#pragma once
+
+#include "marking/scheme.h"
+
+namespace pnm::marking {
+
+class NoMarking final : public MarkingScheme {
+ public:
+  explicit NoMarking(SchemeConfig cfg) : MarkingScheme(cfg) {}
+
+  std::string_view name() const override { return "no-marking"; }
+  bool plaintext_ids() const override { return true; }
+  bool marks_carry_macs() const override { return false; }
+  void mark(net::Packet&, NodeId, ByteView, Rng&) const override {}
+  net::Mark make_mark(const net::Packet&, NodeId claimed, ByteView, Rng&) const override;
+  VerifyResult verify(const net::Packet& p, const crypto::KeyStore& keys) const override;
+};
+
+}  // namespace pnm::marking

@@ -1,0 +1,32 @@
+#include "marking/plain_ppm.h"
+
+#include "marking/mark.h"
+
+namespace pnm::marking {
+
+void PlainPpm::mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const {
+  if (!rng.chance(cfg_.mark_probability)) return;
+  p.marks.push_back(make_mark(p, self, key, rng));
+}
+
+net::Mark PlainPpm::make_mark(const net::Packet&, NodeId claimed, ByteView, Rng&) const {
+  return net::Mark{encode_id(claimed), {}};
+}
+
+VerifyResult PlainPpm::verify(const net::Packet& p, const crypto::KeyStore& keys) const {
+  VerifyResult out;
+  out.total_marks = p.marks.size();
+  // No MACs: the sink can only take the plaintext IDs at face value. Marks
+  // naming unknown nodes are discarded; everything else is "valid".
+  for (std::size_t i = 0; i < p.marks.size(); ++i) {
+    auto id = decode_id(p.marks[i].id_field);
+    if (id && *id != kSinkId && *id < keys.size() && p.marks[i].mac.empty()) {
+      out.chain.push_back(VerifiedMark{*id, i});
+    } else {
+      ++out.invalid_marks;
+    }
+  }
+  return out;
+}
+
+}  // namespace pnm::marking

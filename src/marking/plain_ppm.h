@@ -1,0 +1,25 @@
+// Plain probabilistic packet marking (Savage et al., SIGCOMM 2000), adapted
+// to sensor append-mode: each forwarder appends its plaintext ID with
+// probability p, no cryptographic protection whatsoever. Internet routers can
+// get away with this because they are trusted; a single sensor mole forges or
+// strips these marks at will (§3). Kept as the weakest traceback baseline.
+#pragma once
+
+#include "marking/scheme.h"
+
+namespace pnm::marking {
+
+class PlainPpm final : public MarkingScheme {
+ public:
+  explicit PlainPpm(SchemeConfig cfg) : MarkingScheme(cfg) {}
+
+  std::string_view name() const override { return "plain-ppm"; }
+  bool plaintext_ids() const override { return true; }
+  bool marks_carry_macs() const override { return false; }
+  void mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const override;
+  net::Mark make_mark(const net::Packet& p, NodeId claimed, ByteView key,
+                      Rng& rng) const override;
+  VerifyResult verify(const net::Packet& p, const crypto::KeyStore& keys) const override;
+};
+
+}  // namespace pnm::marking

@@ -1,0 +1,76 @@
+// PNM + pairwise neighbor authentication — the §7/§9 precision extension.
+//
+// Plain PNM stops at a one-hop neighborhood: the stop node's neighbors are
+// all equally suspect because a mole "can claim different identities in
+// communicating with its neighbors". Here each mark also authenticates the
+// RECEIVED-FROM relation: node V_i, which got the packet from node r over
+// the radio, writes
+//
+//   id_field = i' || t,   i' = H'_{k_i}(M | i)              (as in PNM)
+//                         t  = H''_{k_{i,r}}(M | i' | r)    (neighbor tag)
+//
+// where k_{i,r} is the pairwise key V_i shares with that neighbor. The
+// nested MAC covers the whole id_field, so the tag is tamper-evident. The
+// sink resolves t by trying V_i's radio neighbors.
+//
+// Precision consequence (tested in pnm_pairwise_test):
+//   * honest stop node  -> its claim is true, so the pair {stop, claimed}
+//     contains the actual upstream attacker;
+//   * lying stop node   -> only a mole lies, so the pair contains the mole
+//     itself. Either way: TWO candidate nodes instead of degree+1.
+// A mole can still claim any of ITS OWN neighbors (it holds those pairwise
+// keys) — precision is a pair of neighboring nodes, exactly as §7 states.
+#pragma once
+
+#include "crypto/pairwise.h"
+#include "marking/scheme.h"
+#include "net/topology.h"
+
+namespace pnm::marking {
+
+/// A resolved received-from claim for one verified mark.
+struct NeighborClaim {
+  NodeId node = kInvalidNode;           ///< the marking node
+  NodeId received_from = kInvalidNode;  ///< who it says handed it the packet
+  std::size_t mark_index = 0;
+};
+
+class PnmPairwise final : public MarkingScheme {
+ public:
+  /// `pair_keys` and `topo` must outlive the scheme. `claim_len` bytes of
+  /// neighbor tag ride in every mark (default 2).
+  PnmPairwise(SchemeConfig cfg, const crypto::PairwiseKeys& pair_keys,
+              const net::Topology& topo, std::size_t claim_len = 2);
+
+  std::string_view name() const override { return "pnm-pairwise"; }
+  bool plaintext_ids() const override { return false; }
+  std::size_t hashes_per_mark() const override { return 3; }  // anon + tag + MAC
+  void mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const override;
+  net::Mark make_mark(const net::Packet& p, NodeId claimed, ByteView key,
+                      Rng& rng) const override;
+  VerifyResult verify(const net::Packet& p, const crypto::KeyStore& keys) const override;
+
+  /// Resolve the received-from claims of an already-verified chain by trying
+  /// each marker's radio neighbors. Unresolvable tags (forged or the claimer
+  /// lied about a non-neighbor) yield kInvalidNode.
+  std::vector<NeighborClaim> resolve_claims(const net::Packet& p,
+                                            const VerifyResult& vr) const;
+
+  /// The sharpened suspect set for a traceback that stopped at `stop_node`:
+  /// {stop_node, its claimed upstream} when a claim resolved, else the full
+  /// closed neighborhood (graceful fallback to plain PNM precision).
+  std::vector<NodeId> pair_suspects(NodeId stop_node,
+                                    const std::vector<NeighborClaim>& claims) const;
+
+  std::size_t claim_len() const { return claim_len_; }
+
+ private:
+  Bytes anon_part(ByteView report, NodeId node, ByteView node_key) const;
+  Bytes claim_tag(ByteView report, ByteView anon, NodeId self, NodeId prev) const;
+
+  const crypto::PairwiseKeys& pair_keys_;
+  const net::Topology& topo_;
+  std::size_t claim_len_;
+};
+
+}  // namespace pnm::marking

@@ -1,0 +1,58 @@
+#include "marking/pnm_scheme.h"
+
+#include "crypto/anon_id.h"
+#include "crypto/hmac.h"
+#include "marking/mark.h"
+#include "sink/anon_lookup.h"
+
+namespace pnm::marking {
+
+void PnmScheme::mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const {
+  if (!rng.chance(cfg_.mark_probability)) return;
+  p.marks.push_back(make_mark(p, self, key, rng));
+}
+
+net::Mark PnmScheme::make_mark(const net::Packet& p, NodeId claimed, ByteView key,
+                               Rng&) const {
+  // The anonymous ID binds to the ORIGINAL report M, not to M_{i-1}: the sink
+  // must be able to precompute one table per report that resolves every
+  // mark in the packet, regardless of how many marks precede each.
+  Bytes id_field = crypto::anon_id(key, p.report, claimed, cfg_.anon_len);
+  Bytes mac = crypto::truncated_mac(key, nested_mac_input(p, p.marks.size(), id_field),
+                                    cfg_.mac_len);
+  return net::Mark{std::move(id_field), std::move(mac)};
+}
+
+VerifyResult PnmScheme::verify(const net::Packet& p, const crypto::KeyStore& keys) const {
+  VerifyResult out;
+  out.total_marks = p.marks.size();
+  if (p.marks.empty()) return out;
+
+  sink::AnonIdTable table(keys, p.report, cfg_.anon_len);
+
+  // Nested backward pass with candidate disambiguation: a mark is valid if
+  // ANY candidate node for its anonymous ID produces a matching MAC (the
+  // truncated anon ID may collide across nodes; the MAC breaks the tie).
+  for (std::size_t j = p.marks.size(); j-- > 0;) {
+    const net::Mark& m = p.marks[j];
+    NodeId resolved = kInvalidNode;
+    if (m.id_field.size() == cfg_.anon_len) {
+      Bytes input = nested_mac_input(p, j, m.id_field);
+      for (NodeId candidate : table.candidates(m.id_field)) {
+        if (crypto::verify_mac(keys.key_unchecked(candidate), input, m.mac)) {
+          resolved = candidate;
+          break;
+        }
+      }
+    }
+    if (resolved == kInvalidNode) {
+      out.invalid_marks = j + 1;
+      out.truncated_by_invalid = true;
+      break;
+    }
+    out.chain.insert(out.chain.begin(), VerifiedMark{resolved, j});
+  }
+  return out;
+}
+
+}  // namespace pnm::marking

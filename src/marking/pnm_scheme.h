@@ -1,0 +1,32 @@
+// Probabilistic Nested Marking (§4.2) — the paper's contribution.
+//
+// Node-side: with probability p, node V_i appends ( i', MAC ) where
+//   i'  = H'_{k_i}(M | i)          (anonymous ID bound to the original report)
+//   MAC = H_{k_i}(M_{i-1} | i')    (nested MAC over the entire received message)
+//
+// The anonymous ID removes the information a selective-dropping mole needs
+// (it cannot tell which upstream nodes marked a packet), while the nested MAC
+// keeps the consecutive-traceability property. Sink-side verification first
+// resolves each i' to candidate real nodes via the per-report AnonIdTable,
+// then runs the nested backward MAC pass, disambiguating anon-ID collisions
+// by which candidate's key actually verifies.
+#pragma once
+
+#include "marking/scheme.h"
+
+namespace pnm::marking {
+
+class PnmScheme final : public MarkingScheme {
+ public:
+  explicit PnmScheme(SchemeConfig cfg) : MarkingScheme(cfg) {}
+
+  std::string_view name() const override { return "pnm"; }
+  bool plaintext_ids() const override { return false; }
+  std::size_t hashes_per_mark() const override { return 2; }  // anon ID + MAC
+  void mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const override;
+  net::Mark make_mark(const net::Packet& p, NodeId claimed, ByteView key,
+                      Rng& rng) const override;
+  VerifyResult verify(const net::Packet& p, const crypto::KeyStore& keys) const override;
+};
+
+}  // namespace pnm::marking

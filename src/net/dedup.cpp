@@ -1,0 +1,28 @@
+#include "net/dedup.h"
+
+namespace pnm::net {
+
+std::uint64_t DedupCache::digest_of(ByteView report) {
+  crypto::Sha256Digest d = crypto::Sha256::hash(report);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
+  return v;
+}
+
+bool DedupCache::seen_or_insert(ByteView report) {
+  std::uint64_t digest = digest_of(report);
+  if (present_.count(digest)) return true;
+  present_.insert(digest);
+  order_.push_back(digest);
+  if (order_.size() > capacity_) {
+    present_.erase(order_.front());
+    order_.pop_front();
+  }
+  return false;
+}
+
+bool DedupCache::contains(ByteView report) const {
+  return present_.count(digest_of(report)) != 0;
+}
+
+}  // namespace pnm::net

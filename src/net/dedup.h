@@ -1,0 +1,45 @@
+// En-route duplicate suppression (§2.3, §7).
+//
+// Legitimate forwarders drop reports they have recently forwarded: this is
+// why a source mole must vary its bogus content, and it is the paper's first
+// line of defense against replay attacks (a mole re-injecting old legitimate
+// reports, whose embedded marks would otherwise pollute traceback with the
+// original reporter's path).
+//
+// The cache is bounded (sensor RAM is tiny): a FIFO of report digests with
+// O(1) membership. Replays older than the cache horizon are handled at the
+// sink by the ReplayGuard's timestamp watermarks.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_set>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace pnm::net {
+
+class DedupCache {
+ public:
+  /// `capacity` = number of recent report digests remembered (Mica2-class
+  /// nodes can afford a few hundred 8-byte digest prefixes).
+  explicit DedupCache(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// Returns true if `report` was already in the cache (i.e. the packet is a
+  /// duplicate and should be dropped); inserts it otherwise.
+  bool seen_or_insert(ByteView report);
+
+  bool contains(ByteView report) const;
+  std::size_t size() const { return order_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  static std::uint64_t digest_of(ByteView report);
+
+  std::size_t capacity_;
+  std::deque<std::uint64_t> order_;
+  std::unordered_set<std::uint64_t> present_;
+};
+
+}  // namespace pnm::net

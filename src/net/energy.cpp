@@ -1,0 +1,27 @@
+#include "net/energy.h"
+
+#include <algorithm>
+
+namespace pnm::net {
+
+double EnergyLedger::total_energy_uj() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < tx_bytes_.size(); ++i)
+    total += node_energy_uj(static_cast<NodeId>(i));
+  return total;
+}
+
+std::size_t EnergyLedger::total_bytes() const {
+  std::size_t total = 0;
+  for (std::size_t b : tx_bytes_) total += b;
+  for (std::size_t b : rx_bytes_) total += b;
+  return total;
+}
+
+void EnergyLedger::reset() {
+  std::fill(tx_bytes_.begin(), tx_bytes_.end(), 0);
+  std::fill(rx_bytes_.begin(), rx_bytes_.end(), 0);
+  std::fill(hashes_.begin(), hashes_.end(), 0);
+}
+
+}  // namespace pnm::net

@@ -1,0 +1,30 @@
+// Radio link model with Mica2-era defaults (§2.1, §4.2 of the paper):
+// 19.2 kbps radios, ~50 packets/second ceiling. Per-hop latency is the
+// serialization time of the actual wire image plus a small processing delay;
+// links may drop packets independently with a configurable probability.
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace pnm::net {
+
+struct LinkModel {
+  double bitrate_bps = 19200.0;      ///< Mica2 radio rate
+  double processing_delay_s = 1e-3;  ///< per-hop MAC/CPU handling
+  double loss_probability = 0.0;     ///< independent per-hop drop chance
+
+  /// Time to put `bytes` on the air.
+  double tx_time_s(std::size_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / bitrate_bps;
+  }
+
+  double hop_latency_s(std::size_t bytes) const {
+    return tx_time_s(bytes) + processing_delay_s;
+  }
+
+  bool delivers(Rng& rng) const { return !rng.chance(loss_probability); }
+};
+
+}  // namespace pnm::net

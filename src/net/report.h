@@ -1,0 +1,83 @@
+// Sensing reports and packets.
+//
+// Per the paper (§2.3): a report is M = E | L | T — an event description, a
+// location, and a timestamp. Bogus reports injected by a source mole conform
+// to this legitimate format but vary in content (identical duplicates would
+// be suppressed en-route). A packet on the wire is the report plus the list
+// of marks appended so far by forwarding nodes; the mark list grows as the
+// packet travels (PNM appends, it never overwrites).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace pnm::net {
+
+/// The application payload M = E|L|T.
+struct Report {
+  std::uint32_t event = 0;      ///< event type / reading (E)
+  std::uint16_t loc_x = 0;      ///< reported location (L), grid coordinates
+  std::uint16_t loc_y = 0;
+  std::uint64_t timestamp = 0;  ///< report generation time (T), microseconds
+
+  /// Canonical wire encoding; this is the "original message M" that anchors
+  /// anonymous IDs and the innermost MAC.
+  Bytes encode() const;
+  static std::optional<Report> decode(ByteView data);
+
+  bool operator==(const Report&) const = default;
+};
+
+/// One traceback mark: an identity field (real ID for plaintext schemes,
+/// anonymized ID for PNM) plus a truncated MAC. Schemes define both contents.
+struct Mark {
+  Bytes id_field;
+  Bytes mac;
+
+  bool operator==(const Mark&) const = default;
+};
+
+/// A packet in flight: the report plus the appended mark list, and
+/// simulation-side ground truth that is *not* part of the wire image.
+struct Packet {
+  Bytes report;              ///< encoded Report (the original message M)
+  std::vector<Mark> marks;   ///< appended in forwarding order
+
+  // --- simulation ground truth / bookkeeping (never serialized) ---
+  NodeId true_source = kInvalidNode;  ///< who really generated it
+  std::uint64_t seq = 0;              ///< injection sequence number
+  bool bogus = false;                 ///< ground truth: forged by a mole?
+  NodeId delivered_by = kInvalidNode; ///< radio-layer previous hop at the sink
+  /// Radio-layer previous hop at the node currently holding the packet —
+  /// every receiver knows who transmitted to it. Set by the simulator before
+  /// each node handler runs; consumed by neighbor-authenticating schemes.
+  NodeId arrived_from = kInvalidNode;
+
+  /// Bytes this packet occupies on the air: report + all marks (with their
+  /// one-byte-per-field length framing). Drives energy/bandwidth accounting.
+  std::size_t wire_size() const;
+
+  /// Wire image equality (ground-truth fields ignored).
+  bool same_wire(const Packet& other) const {
+    return report == other.report && marks == other.marks;
+  }
+};
+
+/// Generates distinct-content bogus reports, mimicking a source mole that
+/// varies E/L/T to evade duplicate suppression (§2.3 footnote).
+class BogusReportFactory {
+ public:
+  BogusReportFactory(std::uint16_t loc_x, std::uint16_t loc_y)
+      : loc_x_(loc_x), loc_y_(loc_y) {}
+
+  Report next();
+
+ private:
+  std::uint16_t loc_x_, loc_y_;
+  std::uint32_t counter_ = 0;
+};
+
+}  // namespace pnm::net

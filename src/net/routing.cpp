@@ -1,0 +1,99 @@
+#include "net/routing.h"
+
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace pnm::net {
+
+namespace {
+
+std::vector<NodeId> bfs_parents(const Topology& topo, const std::vector<bool>& excluded) {
+  std::vector<NodeId> parent(topo.node_count(), kInvalidNode);
+  std::vector<bool> seen(topo.node_count(), false);
+  std::queue<NodeId> frontier;
+  frontier.push(kSinkId);
+  seen[kSinkId] = true;
+  while (!frontier.empty()) {
+    NodeId v = frontier.front();
+    frontier.pop();
+    for (NodeId u : topo.neighbors(v)) {
+      if (seen[u] || (!excluded.empty() && excluded[u])) continue;
+      seen[u] = true;
+      parent[u] = v;
+      frontier.push(u);
+    }
+  }
+  return parent;
+}
+
+double dist_to_sink(const Topology& topo, NodeId id) {
+  const auto& p = topo.position(id);
+  const auto& s = topo.position(kSinkId);
+  return std::hypot(p.x - s.x, p.y - s.y);
+}
+
+}  // namespace
+
+RoutingTable::RoutingTable(const Topology& topo, RoutingStrategy strategy)
+    : RoutingTable(topo, strategy, {}) {}
+
+RoutingTable::RoutingTable(const Topology& topo, RoutingStrategy strategy,
+                           const std::vector<bool>& excluded)
+    : strategy_(strategy) {
+  assert(excluded.empty() || excluded.size() == topo.node_count());
+  std::vector<NodeId> tree = bfs_parents(topo, excluded);
+  next_hop_.assign(topo.node_count(), kInvalidNode);
+
+  auto is_excluded = [&](NodeId id) { return !excluded.empty() && excluded[id]; };
+
+  if (strategy == RoutingStrategy::kTree) {
+    for (NodeId v = 0; v < topo.node_count(); ++v) {
+      if (v == kSinkId || is_excluded(v)) continue;
+      next_hop_[v] = tree[v];
+    }
+    return;
+  }
+
+  // Greedy geographic: pick the non-excluded neighbor strictly closer to the
+  // sink; on a local minimum (void), fall back to the BFS tree parent so the
+  // table still routes everything (a stand-in for GPSR perimeter mode).
+  for (NodeId v = 0; v < topo.node_count(); ++v) {
+    if (v == kSinkId || is_excluded(v)) continue;
+    double best = dist_to_sink(topo, v);
+    NodeId choice = kInvalidNode;
+    for (NodeId u : topo.neighbors(v)) {
+      if (is_excluded(u)) continue;
+      double d = dist_to_sink(topo, u);
+      if (d < best) {
+        best = d;
+        choice = u;
+      }
+    }
+    next_hop_[v] = (choice != kInvalidNode) ? choice : tree[v];
+  }
+}
+
+std::size_t RoutingTable::hops_to_sink(NodeId id) const {
+  std::size_t hops = 0;
+  NodeId v = id;
+  while (v != kSinkId) {
+    v = next_hop_.at(v);
+    if (v == kInvalidNode || ++hops > next_hop_.size()) return SIZE_MAX;
+  }
+  return hops;
+}
+
+std::vector<NodeId> RoutingTable::path_to_sink(NodeId id) const {
+  std::vector<NodeId> path;
+  NodeId v = id;
+  path.push_back(v);
+  while (v != kSinkId) {
+    v = next_hop_.at(v);
+    if (v == kInvalidNode || path.size() > next_hop_.size()) return {};
+    path.push_back(v);
+  }
+  return path;
+}
+
+}  // namespace pnm::net

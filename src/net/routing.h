@@ -1,0 +1,53 @@
+// Many-to-one routing toward the sink (§2.1: routes are stable; each node has
+// exactly one next hop on its forwarding path). Two strategies:
+//  * kTree       — shortest-path (BFS) tree rooted at the sink, the classic
+//                  tree-based collection routing (TinyDB-style);
+//  * kGeographic — greedy geographic forwarding (GPSR-style greedy mode):
+//                  forward to the neighbor closest to the sink; falls back to
+//                  the BFS parent when greedy would get stuck in a void.
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "util/ids.h"
+
+namespace pnm::net {
+
+enum class RoutingStrategy { kTree, kGeographic };
+
+/// Immutable next-hop table for a given topology. All paths end at the sink.
+class RoutingTable {
+ public:
+  RoutingTable(const Topology& topo, RoutingStrategy strategy);
+
+  /// Routes around administratively excluded nodes (e.g. isolated moles):
+  /// they get no route and are never chosen as a next hop. `excluded` must
+  /// be empty or sized to the node count.
+  RoutingTable(const Topology& topo, RoutingStrategy strategy,
+               const std::vector<bool>& excluded);
+
+  /// Next hop of `id` toward the sink; kInvalidNode for the sink itself or
+  /// for nodes with no route (disconnected).
+  NodeId next_hop(NodeId id) const { return next_hop_.at(id); }
+
+  bool has_route(NodeId id) const {
+    return id == kSinkId || next_hop_.at(id) != kInvalidNode;
+  }
+
+  /// Hop count from `id` to the sink following next_hop (0 for the sink);
+  /// SIZE_MAX if unroutable.
+  std::size_t hops_to_sink(NodeId id) const;
+
+  /// Full forwarding path `id -> ... -> sink`, inclusive on both ends.
+  /// Empty if unroutable.
+  std::vector<NodeId> path_to_sink(NodeId id) const;
+
+  RoutingStrategy strategy() const { return strategy_; }
+
+ private:
+  std::vector<NodeId> next_hop_;
+  RoutingStrategy strategy_;
+};
+
+}  // namespace pnm::net

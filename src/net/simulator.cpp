@@ -1,0 +1,128 @@
+#include "net/simulator.h"
+
+#include <cassert>
+
+#include "util/log.h"
+
+namespace pnm::net {
+
+Simulator::Simulator(const Topology& topo, const RoutingTable& routing, LinkModel link,
+                     EnergyModel energy, std::uint64_t seed)
+    : topo_(topo),
+      routing_(&routing),
+      link_(link),
+      energy_(topo.node_count(), energy),
+      rng_(seed),
+      handlers_(topo.node_count()),
+      isolated_(topo.node_count(), false),
+      txq_(topo.node_count()),
+      busy_until_(topo.node_count(), 0.0) {}
+
+void Simulator::set_node_handler(NodeId id, NodeHandler handler) {
+  handlers_.at(id) = std::move(handler);
+}
+
+void Simulator::clear_node_handler(NodeId id) { handlers_.at(id) = nullptr; }
+
+void Simulator::isolate(NodeId id) { isolated_.at(id) = true; }
+
+void Simulator::schedule(double delay_s, std::function<void()> fn) {
+  assert(delay_s >= 0.0);
+  queue_.push(Event{now_ + delay_s, next_order_++, std::move(fn)});
+}
+
+void Simulator::inject(NodeId origin, Packet packet) {
+  if (isolated_.at(origin)) return;
+  NodeId next = routing_->next_hop(origin);
+  if (next == kInvalidNode) {
+    PNM_WARN << "inject: node " << origin << " has no route to the sink";
+    return;
+  }
+  transmit(origin, next, std::move(packet));
+}
+
+void Simulator::transmit(NodeId from, NodeId to, Packet packet) {
+  assert(topo_.are_neighbors(from, to));
+  if (txq_[from].size() >= queue_capacity_) {
+    ++packets_queue_dropped_;
+    return;
+  }
+  txq_[from].push(PendingTx{to, std::move(packet)});
+  pump_tx(from);
+}
+
+void Simulator::pump_tx(NodeId from) {
+  // The radio serializes: one transmission at a time per node.
+  if (txq_[from].empty() || now_ < busy_until_[from]) return;
+
+  PendingTx tx = std::move(txq_[from].front());
+  txq_[from].pop();
+  std::size_t bytes = tx.packet.wire_size();
+  energy_.on_transmit(from, bytes);
+  double tx_time = link_.tx_time_s(bytes);
+  double latency = link_.hop_latency_s(bytes);
+  busy_until_[from] = now_ + tx_time;
+  schedule(tx_time, [this, from]() { pump_tx(from); });
+
+  if (!link_.delivers(rng_)) {
+    ++packets_lost_;
+    return;
+  }
+  NodeId to = tx.to;
+  schedule(latency, [this, from, to, p = std::move(tx.packet)]() mutable {
+    arrive(to, from, std::move(p));
+  });
+}
+
+void Simulator::arrive(NodeId at, NodeId from, Packet packet) {
+  if (isolated_.at(at)) return;
+  energy_.on_receive(at, packet.wire_size());
+  packet.arrived_from = from;
+
+  if (at == kSinkId) {
+    ++packets_delivered_;
+    if (sink_handler_) sink_handler_(std::move(packet), now_);
+    return;
+  }
+
+  std::optional<Packet> out;
+  if (handlers_[at]) {
+    out = handlers_[at](std::move(packet), at);
+  } else {
+    out = std::move(packet);
+  }
+  if (!out) {
+    ++packets_node_dropped_;
+    return;
+  }
+
+  NodeId next = routing_->next_hop(at);
+  if (next == kInvalidNode) {
+    ++packets_node_dropped_;
+    return;
+  }
+  // The sink learns its radio-layer previous hop for free: it can observe
+  // who transmitted the final hop. Record it before the last transmission.
+  if (next == kSinkId) out->delivered_by = at;
+  transmit(at, next, std::move(*out));
+}
+
+bool Simulator::run(std::size_t max_events) {
+  std::size_t processed = 0;
+  while (!queue_.empty()) {
+    if (processed++ >= max_events) {
+      PNM_ERROR << "simulator: event budget exhausted (" << max_events << ")";
+      return false;
+    }
+    Event ev = queue_.top();
+    // priority_queue::top() is const; move via const_cast is UB — copy the
+    // function object instead (events are small).
+    queue_.pop();
+    assert(ev.time + 1e-12 >= now_);
+    now_ = ev.time;
+    ev.fn();
+  }
+  return true;
+}
+
+}  // namespace pnm::net

@@ -1,0 +1,42 @@
+#include "sink/anon_lookup.h"
+
+namespace pnm::sink {
+
+namespace {
+std::string key_of(ByteView anon) {
+  return std::string(reinterpret_cast<const char*>(anon.data()), anon.size());
+}
+}  // namespace
+
+AnonIdTable::AnonIdTable(const crypto::KeyStore& keys, ByteView report,
+                         std::size_t anon_len) {
+  // Node 0 is the sink itself and never marks; start from 1.
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    NodeId id = static_cast<NodeId>(i);
+    Bytes anon = crypto::anon_id(keys.key_unchecked(id), report, id, anon_len);
+    table_[key_of(anon)].push_back(id);
+  }
+}
+
+const std::vector<NodeId>& AnonIdTable::candidates(ByteView anon) const {
+  auto it = table_.find(key_of(anon));
+  return it == table_.end() ? empty_ : it->second;
+}
+
+std::vector<NodeId> scoped_candidates(const crypto::KeyStore& keys,
+                                      const net::Topology& topo, NodeId previous_hop,
+                                      ByteView report, ByteView anon,
+                                      std::size_t anon_len) {
+  std::vector<NodeId> out;
+  for (NodeId id : topo.closed_neighborhood(previous_hop)) {
+    if (id == kSinkId || id >= keys.size()) continue;
+    Bytes candidate = crypto::anon_id(keys.key_unchecked(id), report, id, anon_len);
+    if (candidate.size() == anon.size() &&
+        std::equal(candidate.begin(), candidate.end(), anon.begin())) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace pnm::sink

@@ -1,0 +1,51 @@
+// Sink-side anonymous-ID resolution (§4.2 "Mark Verification", §7).
+//
+// For each distinct report M the sink computes i' = H'_{k_i}(M | i) for every
+// node i and builds a reverse table i' -> {candidate nodes}. Anonymous IDs
+// are truncated, so collisions are expected; lookups return a candidate SET
+// and the caller disambiguates by checking each candidate's MAC.
+//
+// Two search modes:
+//  * exhaustive      — the paper's default: all nodes, O(network size) hashes
+//                      per distinct report (feasible at sink compute rates);
+//  * topology-scoped — the §7 optimization: when the sink knows the topology
+//                      it restricts the search to the one-hop neighbors of
+//                      the previously verified node, O(d) hashes per mark.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/anon_id.h"
+#include "crypto/keys.h"
+#include "net/topology.h"
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace pnm::sink {
+
+/// Reverse map anon-ID -> candidate real IDs for one report. Build cost is
+/// one PRF evaluation per node; measured by bench/sink_throughput.
+class AnonIdTable {
+ public:
+  AnonIdTable(const crypto::KeyStore& keys, ByteView report, std::size_t anon_len);
+
+  /// All nodes whose anonymous ID for this report equals `anon`.
+  const std::vector<NodeId>& candidates(ByteView anon) const;
+
+  std::size_t distinct_ids() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<NodeId>> table_;
+  std::vector<NodeId> empty_;
+};
+
+/// Topology-scoped candidate search: compute anonymous IDs only for the
+/// closed one-hop neighborhood of `previous_hop` and return the matches.
+/// This is O(degree) instead of O(network size).
+std::vector<NodeId> scoped_candidates(const crypto::KeyStore& keys,
+                                      const net::Topology& topo, NodeId previous_hop,
+                                      ByteView report, ByteView anon,
+                                      std::size_t anon_len);
+
+}  // namespace pnm::sink

@@ -1,0 +1,71 @@
+#include "sink/broadcast_auth.h"
+
+namespace pnm::sink {
+
+Bytes broadcast_mac_input(ByteView payload, std::size_t epoch) {
+  ByteWriter w;
+  w.u8(0xB7);  // domain tag: authenticated broadcast
+  w.u32(static_cast<std::uint32_t>(epoch));
+  w.blob16(payload);
+  return std::move(w).take();
+}
+
+BroadcastAuthority::BroadcastAuthority(ByteView seed, std::size_t epochs,
+                                       std::size_t mac_len)
+    : chain_(seed, epochs), mac_len_(mac_len) {}
+
+BroadcastMessage BroadcastAuthority::sign(ByteView payload, std::size_t epoch) const {
+  BroadcastMessage message;
+  message.payload.assign(payload.begin(), payload.end());
+  message.epoch = epoch;
+  message.mac = crypto::truncated_mac(chain_.key(epoch),
+                                      broadcast_mac_input(payload, epoch), mac_len_);
+  return message;
+}
+
+KeyDisclosure BroadcastAuthority::disclose(std::size_t epoch) const {
+  return KeyDisclosure{epoch, chain_.key(epoch)};
+}
+
+bool BroadcastReceiver::accept_message(const BroadcastMessage& message) {
+  // Once an epoch's key is public anyone can forge its MACs: too late.
+  if (message.epoch <= anchor_epoch_) return false;
+  pending_[message.epoch].push_back(message);
+  return true;
+}
+
+std::vector<Bytes> BroadcastReceiver::on_disclosure(const KeyDisclosure& disclosure) {
+  std::vector<Bytes> released;
+  if (disclosure.epoch <= anchor_epoch_) return released;
+  if (!crypto::HashChain::verify_key(disclosure.key, disclosure.epoch, anchor_,
+                                     anchor_epoch_)) {
+    return released;  // not our chain: ignore entirely
+  }
+  // The key checks out: advance the trust anchor (also invalidates any
+  // pending messages from skipped epochs whose keys were never seen —
+  // conservative: they can no longer be authenticated).
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->first > disclosure.epoch) break;
+    if (it->first == disclosure.epoch) {
+      for (const BroadcastMessage& message : it->second) {
+        if (crypto::verify_mac(disclosure.key,
+                               broadcast_mac_input(message.payload, message.epoch),
+                               message.mac)) {
+          released.push_back(message.payload);
+        }
+      }
+    }
+    it = pending_.erase(it);
+  }
+  anchor_.assign(disclosure.key.begin(), disclosure.key.end());
+  anchor_epoch_ = disclosure.epoch;
+  return released;
+}
+
+std::size_t BroadcastReceiver::buffered() const {
+  std::size_t total = 0;
+  for (const auto& [epoch, messages] : pending_) total += messages.size();
+  return total;
+}
+
+}  // namespace pnm::sink

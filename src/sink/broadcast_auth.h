@@ -1,0 +1,79 @@
+// µTESLA-lite broadcast authentication (SPINS), sink -> network.
+//
+// Per-neighbor revocation unicast (isolation.h) costs one MAC per neighbor.
+// For network-wide dissemination the sink instead authenticates broadcasts
+// with delayed key disclosure: epoch e's messages are MACed with chain key
+// K_e, which is only disclosed after every receiver could have gotten the
+// message. Receivers buffer, then verify the disclosed key against the
+// pre-loaded chain commitment and release the payloads. Security condition:
+// a message is only accepted while its epoch key is still undisclosed —
+// anything arriving later could have been forged with the public key.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "crypto/hash_chain.h"
+#include "crypto/hmac.h"
+
+namespace pnm::sink {
+
+struct BroadcastMessage {
+  Bytes payload;
+  std::size_t epoch = 0;
+  Bytes mac;
+};
+
+struct KeyDisclosure {
+  std::size_t epoch = 0;
+  Bytes key;
+};
+
+/// Sink side: owns the chain, signs per-epoch, discloses keys afterwards.
+class BroadcastAuthority {
+ public:
+  BroadcastAuthority(ByteView seed, std::size_t epochs, std::size_t mac_len = 4);
+
+  const Bytes& commitment() const { return chain_.commitment(); }
+  std::size_t epochs() const { return chain_.length(); }
+
+  /// MAC `payload` under epoch `epoch`'s still-secret key.
+  BroadcastMessage sign(ByteView payload, std::size_t epoch) const;
+
+  /// Release epoch `epoch`'s key (call once the epoch has passed).
+  KeyDisclosure disclose(std::size_t epoch) const;
+
+ private:
+  crypto::HashChain chain_;
+  std::size_t mac_len_;
+};
+
+/// Node side: pre-loaded with only the commitment.
+class BroadcastReceiver {
+ public:
+  explicit BroadcastReceiver(Bytes commitment, std::size_t mac_len = 4)
+      : anchor_(std::move(commitment)), mac_len_(mac_len) {}
+
+  /// Buffer a broadcast. Rejected if its epoch's key is already disclosed
+  /// (the security condition) or the epoch regressed.
+  bool accept_message(const BroadcastMessage& message);
+
+  /// Process a key disclosure: verify the key against the trusted anchor,
+  /// then verify and release every buffered payload of that epoch.
+  /// Returns the authenticated payloads (empty on bad key / no matches).
+  std::vector<Bytes> on_disclosure(const KeyDisclosure& disclosure);
+
+  std::size_t buffered() const;
+  std::size_t highest_disclosed_epoch() const { return anchor_epoch_; }
+
+ private:
+  Bytes anchor_;  ///< latest verified chain key (starts at the commitment)
+  std::size_t anchor_epoch_ = 0;
+  std::size_t mac_len_;
+  std::map<std::size_t, std::vector<BroadcastMessage>> pending_;
+};
+
+/// The MAC input both sides compute.
+Bytes broadcast_mac_input(ByteView payload, std::size_t epoch);
+
+}  // namespace pnm::sink

@@ -1,0 +1,29 @@
+#include "sink/catcher.h"
+
+#include <algorithm>
+
+namespace pnm::sink {
+
+std::optional<CatchOutcome> resolve_catch(const RouteAnalysis& analysis,
+                                          const std::vector<NodeId>& true_moles) {
+  if (!analysis.identified) return std::nullopt;
+
+  // Inspect the stop node first — for basic nested marking it is itself the
+  // mole whenever the mole left a valid mark — then its neighbors.
+  std::vector<NodeId> order;
+  order.push_back(analysis.stop_node);
+  for (NodeId s : analysis.suspects)
+    if (s != analysis.stop_node) order.push_back(s);
+
+  CatchOutcome out;
+  for (NodeId candidate : order) {
+    ++out.inspections;
+    if (std::find(true_moles.begin(), true_moles.end(), candidate) != true_moles.end()) {
+      out.mole = candidate;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pnm::sink

@@ -1,0 +1,30 @@
+// Turning a suspect neighborhood into a caught mole.
+//
+// Traceback yields a one-hop neighborhood guaranteed (for secure schemes) to
+// contain at least one mole. The paper's follow-up is physical: "dispatch
+// task forces to such locations" to inspect and remove nodes. We model the
+// inspection as an oracle over the ground-truth mole set and account for how
+// many nodes had to be inspected — the operational cost of the traceback's
+// one-hop (rather than exact-node) precision.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sink/route_reconstruct.h"
+#include "util/ids.h"
+
+namespace pnm::sink {
+
+struct CatchOutcome {
+  NodeId mole = kInvalidNode;     ///< the confirmed mole
+  std::size_t inspections = 0;    ///< physical inspections spent (1-based)
+};
+
+/// Inspect the suspect neighborhood (stop node first, then its neighbors)
+/// against the ground-truth mole set; nullopt if the neighborhood contains
+/// no mole — i.e. the traceback was misled and innocents were accused.
+std::optional<CatchOutcome> resolve_catch(const RouteAnalysis& analysis,
+                                          const std::vector<NodeId>& true_moles);
+
+}  // namespace pnm::sink

@@ -1,0 +1,44 @@
+#include "sink/flow_tracker.h"
+
+#include <algorithm>
+
+namespace pnm::sink {
+
+std::optional<FlowTracker::FlowKey> FlowTracker::ingest(const net::Packet& p) {
+  auto report = net::Report::decode(p.report);
+  if (!report) return std::nullopt;
+  FlowKey key = flow_key(report->loc_x, report->loc_y);
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    it = flows_.emplace(key, std::make_unique<TracebackEngine>(scheme_, keys_, topo_))
+             .first;
+  }
+  it->second->ingest(p);
+  return key;
+}
+
+const TracebackEngine* FlowTracker::engine(FlowKey key) const {
+  auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : it->second.get();
+}
+
+std::vector<FlowTracker::FlowSummary> FlowTracker::summaries() const {
+  std::vector<FlowSummary> out;
+  out.reserve(flows_.size());
+  for (const auto& [key, engine] : flows_) {
+    FlowSummary s;
+    s.key = key;
+    s.loc_x = static_cast<std::uint16_t>(key >> 16);
+    s.loc_y = static_cast<std::uint16_t>(key & 0xffff);
+    s.packets = engine->packets_ingested();
+    s.analysis = engine->analysis();
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const FlowSummary& a, const FlowSummary& b) {
+    if (a.analysis.identified != b.analysis.identified) return a.analysis.identified;
+    return a.packets > b.packets;
+  });
+  return out;
+}
+
+}  // namespace pnm::sink

@@ -1,0 +1,61 @@
+// Multi-flow traceback — the paper's §9 future-work item ("revisit the path
+// reconstruction algorithm in the presence of multiple source moles").
+//
+// With several moles injecting concurrently, pooling all suspicious marks in
+// one order graph superimposes multiple forwarding paths: the tree has many
+// most-upstream nodes and identification never becomes unequivocal. The
+// fix is flow separation: suspicious reports claim an origin location L
+// (part of M = E|L|T), and packets from one mole share it — a mole lying
+// *differently per packet* would fragment its own flow into one-packet
+// flows, contributing nothing to any reconstruction and wasting its budget.
+// The tracker partitions traffic by claimed origin and runs an independent
+// TracebackEngine per flow, catching the moles one by one.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "sink/traceback.h"
+
+namespace pnm::sink {
+
+class FlowTracker {
+ public:
+  FlowTracker(const marking::MarkingScheme& scheme, const crypto::KeyStore& keys,
+              const net::Topology& topo)
+      : scheme_(scheme), keys_(keys), topo_(topo) {}
+
+  /// Flow identity: the claimed origin location of the report.
+  using FlowKey = std::uint32_t;
+  static FlowKey flow_key(std::uint16_t loc_x, std::uint16_t loc_y) {
+    return (static_cast<FlowKey>(loc_x) << 16) | loc_y;
+  }
+
+  /// Routes the packet to its flow's engine (created on first sight).
+  /// Returns the flow key, or nullopt for undecodable reports.
+  std::optional<FlowKey> ingest(const net::Packet& p);
+
+  std::size_t flow_count() const { return flows_.size(); }
+
+  /// Engine for a flow; nullptr if never seen.
+  const TracebackEngine* engine(FlowKey key) const;
+
+  struct FlowSummary {
+    FlowKey key = 0;
+    std::uint16_t loc_x = 0;
+    std::uint16_t loc_y = 0;
+    std::size_t packets = 0;
+    RouteAnalysis analysis;
+  };
+
+  /// All flows, identified ones first, then by traffic volume.
+  std::vector<FlowSummary> summaries() const;
+
+ private:
+  const marking::MarkingScheme& scheme_;
+  const crypto::KeyStore& keys_;
+  const net::Topology& topo_;
+  std::map<FlowKey, std::unique_ptr<TracebackEngine>> flows_;
+};
+
+}  // namespace pnm::sink

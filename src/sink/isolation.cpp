@@ -1,0 +1,73 @@
+#include "sink/isolation.h"
+
+#include "crypto/hmac.h"
+
+namespace pnm::sink {
+
+Bytes revocation_mac_input(NodeId revoked, NodeId addressee, std::uint32_t epoch) {
+  ByteWriter w;
+  w.u8(0xB1);  // domain tag: revocation order
+  w.u16(revoked);
+  w.u16(addressee);
+  w.u32(epoch);
+  return std::move(w).take();
+}
+
+Bytes RevocationOrder::encode() const {
+  ByteWriter w;
+  w.u16(revoked);
+  w.u16(addressee);
+  w.u32(epoch);
+  w.blob16(mac);
+  return std::move(w).take();
+}
+
+std::optional<RevocationOrder> RevocationOrder::decode(ByteView wire) {
+  ByteReader r(wire);
+  RevocationOrder order;
+  auto revoked = r.u16();
+  auto addressee = r.u16();
+  auto epoch = r.u32();
+  auto mac = r.blob16();
+  if (!revoked || !addressee || !epoch || !mac || !r.at_end()) return std::nullopt;
+  if (mac->size() > 32) return std::nullopt;
+  order.revoked = *revoked;
+  order.addressee = *addressee;
+  order.epoch = *epoch;
+  order.mac = std::move(*mac);
+  return order;
+}
+
+std::vector<RevocationOrder> IsolationAuthority::revoke(NodeId mole,
+                                                        const net::Topology& topo) {
+  ++epoch_;
+  std::vector<RevocationOrder> orders;
+  for (NodeId neighbor : topo.neighbors(mole)) {
+    if (neighbor == kSinkId || neighbor >= keys_.size()) continue;
+    RevocationOrder order;
+    order.revoked = mole;
+    order.addressee = neighbor;
+    order.epoch = epoch_;
+    order.mac = crypto::truncated_mac(keys_.key_unchecked(neighbor),
+                                      revocation_mac_input(mole, neighbor, epoch_),
+                                      mac_len_);
+    orders.push_back(std::move(order));
+  }
+  return orders;
+}
+
+bool NeighborBlacklist::accept(const RevocationOrder& order) {
+  if (order.addressee != self_) return false;
+  if (order.epoch <= last_epoch_) return false;  // stale or replayed
+  if (!crypto::verify_mac(key_,
+                          revocation_mac_input(order.revoked, order.addressee,
+                                               order.epoch),
+                          order.mac)) {
+    return false;
+  }
+  last_epoch_ = order.epoch;
+  blocked_.insert(order.revoked);
+  return true;
+}
+
+}  // namespace pnm::sink

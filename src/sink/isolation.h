@@ -1,0 +1,78 @@
+// Mole isolation protocol (§2.2, §7 "Mole Isolation", §9 future work).
+//
+// Once traceback + inspection confirm a mole, the sink "notif[ies] their
+// neighbors not to forward traffic from them". The notification channel must
+// itself resist forgery — otherwise revocation orders become a denial-of-
+// service weapon (a mole revoking innocents). Each order is therefore
+// addressed to ONE neighbor and authenticated with that neighbor's own
+// sink-shared key:
+//
+//   order = ( revoked, addressee, epoch, H_{k_addressee}(revoked|addressee|epoch) )
+//
+// Only the sink can mint valid orders (moles lack other nodes' keys), and an
+// order replayed to a different node fails its MAC. Nodes accumulate the
+// revoked set in a NeighborBlacklist and drop anything arriving from a
+// blacklisted radio neighbor.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "net/topology.h"
+#include "util/bytes.h"
+
+namespace pnm::sink {
+
+struct RevocationOrder {
+  NodeId revoked = kInvalidNode;
+  NodeId addressee = kInvalidNode;
+  std::uint32_t epoch = 0;  ///< monotone, lets nodes ignore stale floods
+  Bytes mac;
+
+  Bytes encode() const;
+  static std::optional<RevocationOrder> decode(ByteView wire);
+};
+
+/// Sink side: mints one authenticated order per radio neighbor of the mole.
+class IsolationAuthority {
+ public:
+  explicit IsolationAuthority(const crypto::KeyStore& keys, std::size_t mac_len = 4)
+      : keys_(keys), mac_len_(mac_len) {}
+
+  std::vector<RevocationOrder> revoke(NodeId mole, const net::Topology& topo);
+
+  std::uint32_t epoch() const { return epoch_; }
+
+ private:
+  const crypto::KeyStore& keys_;
+  std::size_t mac_len_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Node side: verifies and installs orders addressed to this node.
+class NeighborBlacklist {
+ public:
+  NeighborBlacklist(NodeId self, ByteView own_key, std::size_t mac_len = 4)
+      : self_(self), key_(own_key.begin(), own_key.end()), mac_len_(mac_len) {}
+
+  /// Returns true if the order verified and was installed. Orders addressed
+  /// to other nodes, with bad MACs, or with non-increasing epochs (replays)
+  /// are rejected.
+  bool accept(const RevocationOrder& order);
+
+  bool blocked(NodeId neighbor) const { return blocked_.count(neighbor) != 0; }
+  std::size_t size() const { return blocked_.size(); }
+
+ private:
+  NodeId self_;
+  Bytes key_;
+  std::size_t mac_len_;
+  std::uint32_t last_epoch_ = 0;
+  std::unordered_set<NodeId> blocked_;
+};
+
+/// The MAC input both sides compute.
+Bytes revocation_mac_input(NodeId revoked, NodeId addressee, std::uint32_t epoch);
+
+}  // namespace pnm::sink

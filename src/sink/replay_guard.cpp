@@ -1,0 +1,28 @@
+#include "sink/replay_guard.h"
+
+#include "crypto/sha256.h"
+
+namespace pnm::sink {
+
+ReplayVerdict ReplayGuard::classify(const net::Packet& p) {
+  auto report = net::Report::decode(p.report);
+  if (!report) return ReplayVerdict::kMalformed;
+
+  crypto::Sha256Digest d = crypto::Sha256::hash(p.report);
+  std::uint64_t digest = 0;
+  for (int i = 0; i < 8; ++i) digest = (digest << 8) | d[static_cast<std::size_t>(i)];
+
+  if (digests_.count(digest)) return ReplayVerdict::kDuplicate;
+
+  std::uint64_t origin = origin_key(*report);
+  auto it = watermark_.find(origin);
+  if (it != watermark_.end() && report->timestamp <= it->second)
+    return ReplayVerdict::kStale;
+
+  if (digests_.size() < history_) digests_.insert(digest);
+  std::uint64_t& mark = watermark_[origin];
+  if (report->timestamp > mark) mark = report->timestamp;
+  return ReplayVerdict::kFresh;
+}
+
+}  // namespace pnm::sink

@@ -1,0 +1,49 @@
+// Sink-side replay detection (§7 "Replay Attacks").
+//
+// A source mole may evade traceback by replaying past LEGITIMATE reports:
+// those arrive with a full set of valid old marks pointing at the original
+// reporter's path, so feeding them to the traceback engine would frame the
+// innocent original path. The guard classifies each suspicious packet:
+//
+//   kFresh     — new content, newer timestamp: feed to traceback;
+//   kDuplicate — report digest seen before (fast replay);
+//   kStale     — timestamp at or below the per-origin high-water mark
+//                (slow replay of content that aged out of caches).
+//
+// Duplicates/stale packets are excluded from the order graph — the replayer
+// cannot launder the original path into the reconstruction. (The paper
+// sketches one-time sequence numbers; monotone per-origin timestamps with a
+// high-water mark are the same mechanism under the M = E|L|T format.)
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/report.h"
+
+namespace pnm::sink {
+
+enum class ReplayVerdict { kFresh, kDuplicate, kStale, kMalformed };
+
+class ReplayGuard {
+ public:
+  /// `history` bounds the digest memory (sink-side, generous by default).
+  explicit ReplayGuard(std::size_t history = 1 << 20) : history_(history) {}
+
+  /// Classify and (for kFresh) advance the origin's timestamp watermark.
+  ReplayVerdict classify(const net::Packet& p);
+
+  std::size_t digests_tracked() const { return digests_.size(); }
+
+ private:
+  static std::uint64_t origin_key(const net::Report& r) {
+    return (static_cast<std::uint64_t>(r.loc_x) << 16) | r.loc_y;
+  }
+
+  std::size_t history_;
+  std::unordered_set<std::uint64_t> digests_;
+  std::unordered_map<std::uint64_t, std::uint64_t> watermark_;  // origin -> max T
+};
+
+}  // namespace pnm::sink

@@ -1,0 +1,86 @@
+#include "sink/route_reconstruct.h"
+
+#include <algorithm>
+
+namespace pnm::sink {
+
+namespace {
+
+bool in(const std::vector<NodeId>& v, NodeId id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+/// The loopy resolution: with a single most-upstream cycle, the stop node is
+/// the unique loop-free node fed by the cycle that no other loop-free node
+/// precedes ("the most upstream node in the line").
+NodeId find_line_head(const OrderGraph& g, const std::vector<NodeId>& loop) {
+  NodeId head = kInvalidNode;
+  for (NodeId y : g.observed_nodes()) {
+    if (in(loop, y)) continue;
+    // y must be fed by the loop...
+    bool fed_by_loop = false;
+    for (NodeId x : loop) {
+      if (g.reaches(x, y)) {
+        fed_by_loop = true;
+        break;
+      }
+    }
+    if (!fed_by_loop) continue;
+    // ...and have no loop-free predecessor.
+    bool has_line_predecessor = false;
+    for (NodeId z : g.observed_nodes()) {
+      if (z == y || in(loop, z)) continue;
+      if (g.reaches(z, y)) {
+        has_line_predecessor = true;
+        break;
+      }
+    }
+    if (has_line_predecessor) continue;
+    if (head != kInvalidNode) return kInvalidNode;  // ambiguous: two line heads
+    head = y;
+  }
+  return head;
+}
+
+}  // namespace
+
+RouteAnalysis analyze_route(const OrderGraph& graph, const net::Topology& topo) {
+  RouteAnalysis out;
+  if (graph.observed_count() == 0) return out;
+
+  out.minimal_candidates = graph.minimal_candidates();
+  out.loop = graph.loop_nodes();
+
+  if (out.loop.empty()) {
+    if (out.minimal_candidates.size() != 1) return out;
+    NodeId u = out.minimal_candidates.front();
+    if (!graph.reaches_all(u)) return out;
+    out.identified = true;
+    out.stop_node = u;
+    out.suspects = topo.closed_neighborhood(u);
+    return out;
+  }
+
+  // Loopy route. Require one cycle (all loop nodes mutually reachable) that
+  // is the unique most-upstream component and covers everything observed.
+  for (NodeId a : out.loop) {
+    for (NodeId b : out.loop) {
+      if (a != b && (!graph.reaches(a, b) || !graph.reaches(b, a))) return out;
+    }
+  }
+  if (out.minimal_candidates.size() != 1) return out;
+  NodeId rep = out.minimal_candidates.front();
+  if (!in(out.loop, rep)) return out;   // some acyclic fragment sits upstream
+  if (!graph.reaches_all(rep)) return out;
+
+  NodeId head = find_line_head(graph, out.loop);
+  if (head == kInvalidNode) return out;
+
+  out.identified = true;
+  out.via_loop = true;
+  out.stop_node = head;
+  out.suspects = topo.closed_neighborhood(head);
+  return out;
+}
+
+}  // namespace pnm::sink

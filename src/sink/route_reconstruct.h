@@ -1,0 +1,42 @@
+// Route analysis over the accumulated order graph (§4.2 "Traceback", §5.3).
+//
+// Loop-free case: the sink has unequivocally identified the traffic origin
+// when the order graph has exactly one most-upstream node and that node is
+// provably upstream of every other observed node. The suspect set is its
+// closed one-hop neighborhood (it contains the source mole — or a forwarding
+// mole that stripped everything upstream of itself).
+//
+// Loopy case (identity swapping, Fig. 2): the cycle is the anomaly signature.
+// The sink requires a single cycle that sits most-upstream, finds the unique
+// first node of the loop-free "line" hanging off it, and suspects that node's
+// neighborhood — which provably contains a mole (Theorem 4's argument: a
+// legitimate node has exactly one next hop under stable routing).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "sink/order_matrix.h"
+#include "util/ids.h"
+
+namespace pnm::sink {
+
+struct RouteAnalysis {
+  /// The identification predicate of Figs. 6-7: true when the graph yields
+  /// an unequivocal stop node.
+  bool identified = false;
+  /// Identification went through loop resolution (identity-swap detected).
+  bool via_loop = false;
+  /// Most-upstream node (loop-free) or first line node below the loop.
+  NodeId stop_node = kInvalidNode;
+  /// Closed one-hop neighborhood of stop_node: the paper's traceback output.
+  std::vector<NodeId> suspects;
+
+  // Diagnostics.
+  std::vector<NodeId> minimal_candidates;
+  std::vector<NodeId> loop;
+};
+
+RouteAnalysis analyze_route(const OrderGraph& graph, const net::Topology& topo);
+
+}  // namespace pnm::sink

@@ -1,0 +1,83 @@
+#include "sink/route_render.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pnm::sink {
+
+namespace {
+
+bool in(const std::vector<NodeId>& v, NodeId id) {
+  return std::find(v.begin(), v.end(), id) != v.end();
+}
+
+}  // namespace
+
+std::string render_route_text(const OrderGraph& graph, const RouteAnalysis& analysis) {
+  std::ostringstream out;
+  std::vector<NodeId> nodes = graph.observed_nodes();
+  std::sort(nodes.begin(), nodes.end());
+
+  out << "observed nodes (" << nodes.size() << "): ";
+  for (std::size_t i = 0; i < nodes.size(); ++i) out << (i ? " " : "") << nodes[i];
+  out << "\n";
+
+  out << "direct order evidence:\n";
+  for (NodeId v : nodes) {
+    auto succ = graph.direct_successors(v);
+    if (succ.empty()) continue;
+    std::sort(succ.begin(), succ.end());
+    out << "  " << v << " -> ";
+    for (std::size_t i = 0; i < succ.size(); ++i) out << (i ? ", " : "") << succ[i];
+    out << "\n";
+  }
+
+  if (!analysis.loop.empty()) {
+    auto loop = analysis.loop;
+    std::sort(loop.begin(), loop.end());
+    out << "LOOP detected (identity-swap signature): {";
+    for (std::size_t i = 0; i < loop.size(); ++i) out << (i ? ", " : "") << loop[i];
+    out << "}\n";
+  }
+  if (!analysis.minimal_candidates.empty()) {
+    out << "most-upstream candidates: {";
+    for (std::size_t i = 0; i < analysis.minimal_candidates.size(); ++i)
+      out << (i ? ", " : "") << analysis.minimal_candidates[i];
+    out << "}\n";
+  }
+  if (analysis.identified) {
+    out << "verdict: stop node " << analysis.stop_node
+        << (analysis.via_loop ? " (via loop junction)" : "") << ", suspects {";
+    for (std::size_t i = 0; i < analysis.suspects.size(); ++i)
+      out << (i ? ", " : "") << analysis.suspects[i];
+    out << "}\n";
+  } else {
+    out << "verdict: not yet unequivocal\n";
+  }
+  return out.str();
+}
+
+std::string render_route_dot(const OrderGraph& graph, const RouteAnalysis& analysis) {
+  std::ostringstream out;
+  out << "digraph traceback {\n  rankdir=RL;\n  node [shape=circle];\n";
+  std::vector<NodeId> nodes = graph.observed_nodes();
+  std::sort(nodes.begin(), nodes.end());
+  for (NodeId v : nodes) {
+    out << "  n" << v << " [label=\"" << v << "\"";
+    if (analysis.identified && v == analysis.stop_node)
+      out << ", style=filled, fillcolor=gray80";
+    else if (analysis.identified && in(analysis.suspects, v))
+      out << ", peripheries=2";
+    if (in(analysis.loop, v)) out << ", shape=doublecircle";
+    out << "];\n";
+  }
+  for (NodeId v : nodes) {
+    auto succ = graph.direct_successors(v);
+    std::sort(succ.begin(), succ.end());
+    for (NodeId s : succ) out << "  n" << v << " -> n" << s << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pnm::sink

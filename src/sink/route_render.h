@@ -1,0 +1,23 @@
+// Human-readable rendering of the sink's reconstructed route: an ASCII
+// summary for terminals and Graphviz dot for papers/debugging. Operators
+// staring at a traceback need to see the order evidence, the loop (if any),
+// and where the suspect neighborhood sits.
+#pragma once
+
+#include <string>
+
+#include "net/topology.h"
+#include "sink/order_matrix.h"
+#include "sink/route_reconstruct.h"
+
+namespace pnm::sink {
+
+/// Multi-line ASCII rendering: direct order edges grouped per node, loop
+/// membership, minimal candidates, and the verdict.
+std::string render_route_text(const OrderGraph& graph, const RouteAnalysis& analysis);
+
+/// Graphviz digraph: one node per observed sensor (loop members doubled,
+/// stop node filled, suspects outlined), one edge per DIRECT order relation.
+std::string render_route_dot(const OrderGraph& graph, const RouteAnalysis& analysis);
+
+}  // namespace pnm::sink

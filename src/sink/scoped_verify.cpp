@@ -1,0 +1,83 @@
+#include "sink/scoped_verify.h"
+
+#include <algorithm>
+
+#include "crypto/anon_id.h"
+#include "crypto/hmac.h"
+#include "marking/mark.h"
+
+namespace pnm::sink {
+
+namespace {
+
+/// Longest hop distance worth searching before declaring an ID alien: the
+/// network diameter bounds every honest gap.
+std::size_t diameter_bound(const net::Topology& topo) { return topo.node_count(); }
+
+}  // namespace
+
+marking::VerifyResult scoped_verify_pnm(const net::Packet& p,
+                                        const crypto::KeyStore& keys,
+                                        const net::Topology& topo,
+                                        const marking::SchemeConfig& cfg,
+                                        ScopedVerifyStats* stats) {
+  marking::VerifyResult out;
+  out.total_marks = p.marks.size();
+  if (p.marks.empty()) return out;
+
+  ScopedVerifyStats local;
+  NodeId anchor = (p.delivered_by != kInvalidNode && p.delivered_by < topo.node_count())
+                      ? p.delivered_by
+                      : kSinkId;
+
+  for (std::size_t j = p.marks.size(); j-- > 0;) {
+    const net::Mark& m = p.marks[j];
+    NodeId resolved = kInvalidNode;
+
+    if (m.id_field.size() == cfg.anon_len) {
+      Bytes input = marking::nested_mac_input(p, j, m.id_field);
+      std::vector<NodeId> tried;  // sorted ids already checked in inner rings
+
+      for (std::size_t ring = 1; ring <= diameter_bound(topo) && resolved == kInvalidNode;
+           ++ring) {
+        if (ring > 1) ++local.ring_expansions;
+        std::vector<NodeId> ball = topo.k_hop_neighborhood(anchor, ring);
+        bool grew = false;
+        for (NodeId candidate : ball) {
+          if (candidate == kSinkId || candidate >= keys.size()) continue;
+          if (std::binary_search(tried.begin(), tried.end(), candidate)) continue;
+          grew = true;
+          ++local.prf_evaluations;
+          Bytes anon = crypto::anon_id(keys.key_unchecked(candidate), p.report, candidate,
+                                       cfg.anon_len);
+          if (anon != m.id_field) continue;
+          ++local.mac_checks;
+          if (crypto::verify_mac(keys.key_unchecked(candidate), input, m.mac)) {
+            resolved = candidate;
+            break;
+          }
+        }
+        tried = std::move(ball);
+        std::sort(tried.begin(), tried.end());
+        if (!grew) break;  // ring stopped growing: whole component searched
+      }
+    }
+
+    if (resolved == kInvalidNode) {
+      out.invalid_marks = j + 1;
+      out.truncated_by_invalid = true;
+      break;
+    }
+    out.chain.insert(out.chain.begin(), marking::VerifiedMark{resolved, j});
+    anchor = resolved;  // next (more upstream) mark is near this node
+  }
+
+  if (stats) {
+    stats->prf_evaluations += local.prf_evaluations;
+    stats->mac_checks += local.mac_checks;
+    stats->ring_expansions += local.ring_expansions;
+  }
+  return out;
+}
+
+}  // namespace pnm::sink

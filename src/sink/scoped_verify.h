@@ -1,0 +1,39 @@
+// Topology-scoped PNM verification (§7 "Anonymous ID Mapping").
+//
+// The exhaustive per-report table costs one PRF evaluation per network node.
+// When the sink knows the topology (e.g. from post-deployment neighbor
+// reports), it can resolve each anonymous ID by searching outward from the
+// previously resolved node instead: with deterministic marking that is the
+// one-hop neighborhood, O(d); with probabilistic marking consecutive marks
+// may be several hops apart, so the search expands ring by ring (1-hop,
+// 2-hop, ...) and falls back to the full network only for truly alien IDs.
+// Expected cost tracks the typical mark gap (~1/p hops), far below network
+// size.
+//
+// The result is bit-identical to PnmScheme::verify (asserted by tests); only
+// the search order — and therefore the hash count — differs.
+#pragma once
+
+#include "crypto/keys.h"
+#include "marking/scheme.h"
+#include "net/topology.h"
+
+namespace pnm::sink {
+
+struct ScopedVerifyStats {
+  std::size_t prf_evaluations = 0;  ///< anonymous-ID hashes computed
+  std::size_t mac_checks = 0;       ///< candidate MAC verifications
+  std::size_t ring_expansions = 0;  ///< times the search widened past 1 hop
+};
+
+/// Verify a PNM packet using the topology-scoped search. `cfg` must match
+/// the marking configuration in force. The search anchors on the packet's
+/// radio-layer previous hop (`delivered_by`); if that is unknown it anchors
+/// on the sink. Stats are accumulated into `stats` when non-null.
+marking::VerifyResult scoped_verify_pnm(const net::Packet& p,
+                                        const crypto::KeyStore& keys,
+                                        const net::Topology& topo,
+                                        const marking::SchemeConfig& cfg,
+                                        ScopedVerifyStats* stats = nullptr);
+
+}  // namespace pnm::sink

@@ -1,0 +1,47 @@
+#include "sink/traceback.h"
+
+namespace pnm::sink {
+
+TracebackEngine::TracebackEngine(const marking::MarkingScheme& scheme,
+                                 const crypto::KeyStore& keys, const net::Topology& topo)
+    : scheme_(scheme), keys_(keys), topo_(topo) {}
+
+marking::VerifyResult TracebackEngine::ingest(const net::Packet& p) {
+  marking::VerifyResult vr = scheme_.verify(p, keys_);
+  ++packets_;
+  if (p.delivered_by != kInvalidNode) last_delivered_by_ = p.delivered_by;
+
+  std::size_t nodes_before = graph_.observed_count();
+  std::size_t edges_before = graph_.order_count();
+
+  for (std::size_t i = 0; i < vr.chain.size(); ++i) {
+    graph_.observe(vr.chain[i].node);
+    markers_seen_.insert(vr.chain[i].node);
+    if (i > 0) graph_.add_order(vr.chain[i - 1].node, vr.chain[i].node);
+  }
+  marks_verified_ += vr.chain.size();
+
+  // Re-analyze only when the packet taught us something new.
+  if (graph_.observed_count() != nodes_before || graph_.order_count() != edges_before) {
+    RouteAnalysis next = analyze_route(graph_, topo_);
+    bool changed = next.identified != current_.identified ||
+                   next.stop_node != current_.stop_node ||
+                   next.via_loop != current_.via_loop;
+    if (changed) last_status_change_packet_ = packets_;
+    current_ = std::move(next);
+  }
+  return vr;
+}
+
+std::optional<std::size_t> TracebackEngine::packets_to_identification() const {
+  if (!current_.identified) return std::nullopt;
+  return last_status_change_packet_;
+}
+
+NodeId TracebackEngine::single_packet_stop(const marking::VerifyResult& vr,
+                                           const net::Packet& p) {
+  if (!vr.chain.empty()) return vr.chain.front().node;
+  return p.delivered_by;
+}
+
+}  // namespace pnm::sink

@@ -1,0 +1,71 @@
+// The sink's traceback engine (§4).
+//
+// Feeds every suspicious delivered packet through the marking scheme's
+// verifier, accumulates verified marks into the order graph, and maintains
+// the current route analysis. Identification is *stabilization-based*: the
+// engine reports the packet count at which the (eventually final) answer
+// last changed, which is how Figs. 6-7 measure "packets needed to
+// unequivocally identify the source".
+//
+// Also provides the single-packet traceback of basic nested marking (§4.1):
+// with deterministic marking, one packet pinpoints the suspect neighborhood.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "crypto/keys.h"
+#include "marking/scheme.h"
+#include "net/topology.h"
+#include "sink/order_matrix.h"
+#include "sink/route_reconstruct.h"
+
+namespace pnm::sink {
+
+class TracebackEngine {
+ public:
+  TracebackEngine(const marking::MarkingScheme& scheme, const crypto::KeyStore& keys,
+                  const net::Topology& topo);
+
+  /// Verify one delivered packet and fold its marks into the order graph.
+  marking::VerifyResult ingest(const net::Packet& p);
+
+  /// Route analysis as of the last ingested packet.
+  const RouteAnalysis& analysis() const { return current_; }
+
+  std::size_t packets_ingested() const { return packets_; }
+  std::size_t marks_verified() const { return marks_verified_; }
+
+  /// Distinct nodes whose marks have been verified so far (Fig. 5's metric).
+  const std::set<NodeId>& markers_seen() const { return markers_seen_; }
+
+  /// If currently identified: the packet count at which the present answer
+  /// was reached (it has not changed since). Nullopt while unidentified.
+  std::optional<std::size_t> packets_to_identification() const;
+
+  /// Radio-layer previous hop of the most recent packet; the sink always
+  /// knows this even for packets with zero valid marks.
+  NodeId last_delivered_by() const { return last_delivered_by_; }
+
+  const OrderGraph& graph() const { return graph_; }
+
+  /// §4.1 single-packet traceback: the stop node implied by one packet —
+  /// the most upstream verified marker, or the radio-layer previous hop if
+  /// no mark verified.
+  static NodeId single_packet_stop(const marking::VerifyResult& vr, const net::Packet& p);
+
+ private:
+  const marking::MarkingScheme& scheme_;
+  const crypto::KeyStore& keys_;
+  const net::Topology& topo_;
+
+  OrderGraph graph_;
+  RouteAnalysis current_;
+  std::size_t packets_ = 0;
+  std::size_t marks_verified_ = 0;
+  std::set<NodeId> markers_seen_;
+  NodeId last_delivered_by_ = kInvalidNode;
+  std::size_t last_status_change_packet_ = 0;
+};
+
+}  // namespace pnm::sink

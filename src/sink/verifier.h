@@ -1,0 +1,37 @@
+// Suspicious-packet classification (§7 "Background Traffic").
+//
+// Traceback must know which delivered packets belong to the attack flow.
+// The paper's sink does this at the application layer — e.g. by checking
+// whether the reported event actually exists. We model that check: the sink
+// registers ground-truth events (from trusted observation or out-of-band
+// validation); reports that are malformed or describe unknown events are
+// suspicious and get fed to the traceback engine.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "net/report.h"
+
+namespace pnm::sink {
+
+class SuspicionFilter {
+ public:
+  /// Registers an event value as genuinely occurring.
+  void register_event(std::uint32_t event) { known_events_.insert(event); }
+
+  /// A packet is suspicious when its report fails to decode or describes an
+  /// event the sink cannot corroborate.
+  bool suspicious(const net::Packet& p) const {
+    auto report = net::Report::decode(p.report);
+    if (!report) return true;
+    return known_events_.count(report->event) == 0;
+  }
+
+  std::size_t known_event_count() const { return known_events_.size(); }
+
+ private:
+  std::unordered_set<std::uint32_t> known_events_;
+};
+
+}  // namespace pnm::sink

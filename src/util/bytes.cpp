@@ -1,0 +1,116 @@
+#include "util/bytes.h"
+
+namespace pnm {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(ByteView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::optional<Bytes> from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_value(hex[i]);
+    int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void append(Bytes& dst, ByteView src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+bool constant_time_equal(ByteView a, ByteView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+void ByteWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::blob16(ByteView data) {
+  u16(static_cast<std::uint16_t>(data.size()));
+  raw(data);
+}
+
+bool ByteReader::need(std::size_t n) {
+  if (failed_ || data_.size() - pos_ < n) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint8_t> ByteReader::u8() {
+  if (!need(1)) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint16_t> ByteReader::u16() {
+  if (!need(2)) return std::nullopt;
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::optional<std::uint32_t> ByteReader::u32() {
+  if (!need(4)) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 4;
+  return v;
+}
+
+std::optional<std::uint64_t> ByteReader::u64() {
+  if (!need(8)) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  pos_ += 8;
+  return v;
+}
+
+std::optional<Bytes> ByteReader::raw(std::size_t n) {
+  if (!need(n)) return std::nullopt;
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::optional<Bytes> ByteReader::blob16() {
+  auto len = u16();
+  if (!len) return std::nullopt;
+  return raw(*len);
+}
+
+}  // namespace pnm

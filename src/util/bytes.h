@@ -1,0 +1,81 @@
+// Byte-buffer utilities: the wire-format substrate used by reports, marks and
+// MACs. Everything is little-endian and bounds-checked on the read side, so a
+// malformed (attacker-manipulated) packet can never read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pnm {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Hex-encode a byte range (lowercase, no separator).
+std::string to_hex(ByteView data);
+
+/// Parse a hex string produced by to_hex(). Returns nullopt on bad input.
+std::optional<Bytes> from_hex(const std::string& hex);
+
+/// Append `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+/// Constant-time equality: used for MAC comparison so that verification time
+/// leaks nothing about how many prefix bytes matched.
+bool constant_time_equal(ByteView a, ByteView b);
+
+/// Serializes fixed-width little-endian integers and raw byte runs.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(Bytes initial) : buf_(std::move(initial)) {}
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void raw(ByteView data) { append(buf_, data); }
+  /// Length-prefixed (u16) byte string.
+  void blob16(ByteView data);
+
+  const Bytes& bytes() const& { return buf_; }
+  Bytes&& take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked reader over a byte view. All accessors return nullopt once
+/// the buffer is exhausted or a length prefix overruns the remaining bytes;
+/// the reader is then left in a failed state (subsequent reads also fail).
+class ByteReader {
+ public:
+  explicit ByteReader(ByteView data) : data_(data) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint16_t> u16();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  /// Read exactly `n` bytes.
+  std::optional<Bytes> raw(std::size_t n);
+  /// Read a u16 length prefix then that many bytes.
+  std::optional<Bytes> blob16();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool failed() const { return failed_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  bool need(std::size_t n);
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace pnm

@@ -1,0 +1,19 @@
+// Identifier types shared across all modules.
+//
+// NodeId is a plain 16-bit integer: sensor deployments in the paper's regime
+// are a few thousand nodes, and marks carry the ID (or its anonymized form)
+// on the wire, so 2 bytes is the realistic width. kSinkId is the well-known
+// sink address; kInvalidNode is a sentinel that never appears on the wire.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pnm {
+
+using NodeId = std::uint16_t;
+
+inline constexpr NodeId kSinkId = 0;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace pnm

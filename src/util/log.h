@@ -1,0 +1,47 @@
+// Minimal leveled logger. The simulator is quiet by default; examples raise
+// the level to narrate what the protocol is doing.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pnm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr with a level prefix (thread-unsafe by design: the
+/// simulator is single-threaded and deterministic).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, out_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+#define PNM_LOG(level)                          \
+  if (::pnm::log_level() > (level)) {           \
+  } else                                        \
+    ::pnm::detail::LogStream(level)
+
+#define PNM_DEBUG PNM_LOG(::pnm::LogLevel::kDebug)
+#define PNM_INFO PNM_LOG(::pnm::LogLevel::kInfo)
+#define PNM_WARN PNM_LOG(::pnm::LogLevel::kWarn)
+#define PNM_ERROR PNM_LOG(::pnm::LogLevel::kError)
+
+}  // namespace pnm

@@ -1,0 +1,54 @@
+// Deterministic random-number substrate. Every stochastic decision in the
+// simulator (marking coin flips, topology placement, attack choices, link
+// loss) draws from an explicitly seeded xoshiro256** stream, so every
+// experiment in the paper reproduction is bit-for-bit repeatable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pnm {
+
+/// splitmix64: used to expand a single 64-bit seed into xoshiro state and to
+/// derive independent child seeds (seed-per-node, seed-per-run).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a small fast generator with 256-bit
+/// state; plenty for simulation purposes (not used for cryptography).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  /// bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  /// Derive an independent generator; deterministic in (this stream, tag).
+  Rng fork(std::uint64_t tag);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace pnm

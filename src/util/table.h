@@ -1,0 +1,38 @@
+// ASCII table / CSV emitters. Every bench binary prints the rows or series of
+// the corresponding paper table/figure through this, so outputs have one
+// consistent, greppable shape.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pnm {
+
+/// Column-aligned ASCII table with an optional title. Cells are strings;
+/// helpers format numerics with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void add_row(std::vector<std::string> row);
+
+  /// Render aligned with ` | ` separators and a rule under the header.
+  std::string render() const;
+  /// Render as CSV (comma-separated, minimal quoting).
+  std::string csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::size_t v);
+  static std::string num(int v);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pnm

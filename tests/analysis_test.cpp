@@ -1,0 +1,77 @@
+// Analytical model tests — including the paper's own Fig. 4 anchor points.
+#include <gtest/gtest.h>
+
+#include "analysis/models.h"
+
+namespace pnm::analysis {
+namespace {
+
+TEST(CollectionProbability, MatchesPaperFig4Anchors) {
+  // §6.1: with np = 3 fixed, 90% confidence needs ~13 / ~33 / ~54 packets
+  // for paths of 10 / 20 / 30 nodes.
+  EXPECT_NEAR(prob_all_marks_within(10, 0.3, 13), 0.906, 0.01);
+  EXPECT_NEAR(prob_all_marks_within(20, 0.15, 33), 0.910, 0.01);
+  EXPECT_NEAR(prob_all_marks_within(30, 0.10, 54), 0.904, 0.01);
+}
+
+TEST(CollectionProbability, PacketsForConfidenceMatchesPaper) {
+  EXPECT_EQ(packets_for_confidence(10, 0.3, 0.90), 13u);
+  EXPECT_EQ(packets_for_confidence(20, 0.15, 0.90), 33u);
+  EXPECT_EQ(packets_for_confidence(30, 0.10, 0.90), 54u);
+}
+
+TEST(CollectionProbability, FiftyFivePacketsCoverTwentyHops) {
+  // §6.2: "with 55 packets, the sink has over 99% probability of having
+  // collected marks from all the 20 forwarding nodes".
+  EXPECT_GT(prob_all_marks_within(20, 0.15, 55), 0.99);
+}
+
+TEST(CollectionProbability, MonotoneInL) {
+  double prev = 0.0;
+  for (std::size_t L = 1; L <= 100; ++L) {
+    double p = prob_all_marks_within(15, 0.2, L);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(prev, 0.999);
+}
+
+TEST(CollectionProbability, Extremes) {
+  EXPECT_DOUBLE_EQ(prob_all_marks_within(0, 0.5, 1), 1.0);
+  EXPECT_DOUBLE_EQ(prob_all_marks_within(5, 0.0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(prob_all_marks_within(5, 1.0, 1), 1.0);
+}
+
+TEST(IdentificationFailure, MatchesFig6Regime) {
+  // n = 50, p = 0.06, 800 packets: failure just under 5% (§6.2's "less than
+  // 5% for very long paths with 800 packets").
+  double f = prob_identification_failure(0.06, 800);
+  EXPECT_GT(f, 0.03);
+  EXPECT_LT(f, 0.07);
+  // n = 20, p = 0.15, 200 packets: nearly always identified.
+  EXPECT_LT(prob_identification_failure(0.15, 200), 0.02);
+}
+
+TEST(IdentificationFailure, PairOrderingExpectation) {
+  EXPECT_DOUBLE_EQ(expected_packets_to_order_first_pair(0.1), 100.0);
+  EXPECT_DOUBLE_EQ(expected_packets_to_order_first_pair(1.0), 1.0);
+}
+
+TEST(Overhead, ExpectedMarksAndBytes) {
+  EXPECT_DOUBLE_EQ(expected_marks_per_packet(10, 0.3), 3.0);
+  EXPECT_DOUBLE_EQ(expected_marks_per_packet(30, 0.1), 3.0);
+  // 3 marks * (2 id + 4 mac + 2 framing) = 24 bytes.
+  EXPECT_DOUBLE_EQ(expected_mark_bytes(10, 0.3, 2, 4), 24.0);
+}
+
+TEST(SinkThroughput, MatchesPaperFeasibilityArgument) {
+  // §4.2: ~2.5 M hashes/s, a few thousand nodes => several hundred packets
+  // per second, far above the ~50 pkt/s sensor radio ceiling.
+  double rate = sink_verifiable_packets_per_second(2.5e6, 3000, 3.0);
+  EXPECT_GT(rate, 500.0);
+  EXPECT_GT(rate, 50.0 * 5);
+  EXPECT_EQ(sink_verifiable_packets_per_second(1e6, 0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace pnm::analysis

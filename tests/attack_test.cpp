@@ -1,0 +1,329 @@
+// Adversary framework tests: key rings, each mole behavior's observable
+// effect, and scenario construction.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/attacks.h"
+#include "attack/colluding.h"
+#include "crypto/keys.h"
+#include "marking/mark.h"
+#include "marking/scheme.h"
+#include "net/routing.h"
+#include "net/topology.h"
+
+namespace pnm::attack {
+namespace {
+
+Bytes str_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+class AttackFixture : public ::testing::Test {
+ protected:
+  AttackFixture()
+      : keys_(str_bytes("attack-master"), 32),
+        ring_(keys_, {10, 5}),
+        rng_(77),
+        nested_(marking::make_scheme(marking::SchemeKind::kNested, {})),
+        pnm_([] {
+          marking::SchemeConfig cfg;
+          cfg.mark_probability = 1.0;
+          return marking::make_scheme(marking::SchemeKind::kPnm, cfg);
+        }()) {}
+
+  MoleContext ctx(const marking::MarkingScheme& scheme, NodeId self = 5) {
+    return MoleContext{self, &scheme, &ring_, &rng_};
+  }
+
+  net::Packet marked_packet(const marking::MarkingScheme& scheme,
+                            const std::vector<NodeId>& path) {
+    net::Packet p;
+    p.report = net::Report{1, 2, 3, 4}.encode();
+    p.true_source = 10;
+    p.bogus = true;
+    for (NodeId v : path) scheme.mark(p, v, keys_.key_unchecked(v), rng_);
+    return p;
+  }
+
+  crypto::KeyStore keys_;
+  KeyRing ring_;
+  Rng rng_;
+  std::unique_ptr<marking::MarkingScheme> nested_;
+  std::unique_ptr<marking::MarkingScheme> pnm_;
+};
+
+// --------------------------------------------------------------- key ring
+
+TEST_F(AttackFixture, KeyRingOnlyHoldsCompromisedKeys) {
+  EXPECT_TRUE(ring_.owns(10));
+  EXPECT_TRUE(ring_.owns(5));
+  EXPECT_FALSE(ring_.owns(1));
+  EXPECT_EQ(*ring_.key(10), *keys_.key(10));
+  EXPECT_EQ(ring_.key(1), nullptr);
+  EXPECT_EQ(ring_.members().size(), 2u);
+}
+
+TEST(KeyRing, IgnoresOutOfRangeIds) {
+  crypto::KeyStore keys(Bytes{1, 2, 3}, 4);
+  KeyRing ring(keys, {2, 100});
+  EXPECT_TRUE(ring.owns(2));
+  EXPECT_FALSE(ring.owns(100));
+  EXPECT_EQ(ring.members().size(), 1u);
+}
+
+// -------------------------------------------------------------- behaviors
+
+TEST_F(AttackFixture, SilentMoleForwardsUntouched) {
+  SilentMole mole;
+  net::Packet p = marked_packet(*nested_, {1, 2});
+  net::Packet before = p;
+  auto c = ctx(*nested_);
+  EXPECT_EQ(mole.on_forward(p, c), ForwardAction::kForward);
+  EXPECT_TRUE(p.same_wire(before));
+}
+
+TEST_F(AttackFixture, InsertionMoleAddsInvalidMarks) {
+  InsertionMole mole({1}, 3);
+  net::Packet p = marked_packet(*nested_, {1, 2});
+  auto c = ctx(*nested_);
+  mole.on_forward(p, c);
+  EXPECT_EQ(p.marks.size(), 5u);
+  // Inserted marks carry garbage MACs: they cannot verify.
+  auto vr = nested_->verify(p, keys_);
+  EXPECT_LT(vr.chain.size(), 5u);
+}
+
+TEST_F(AttackFixture, InsertionMoleMimicsAnonWidthUnderPnm) {
+  InsertionMole mole({1}, 1);
+  net::Packet p = marked_packet(*pnm_, {1});
+  auto c = ctx(*pnm_);
+  mole.on_forward(p, c);
+  ASSERT_EQ(p.marks.size(), 2u);
+  EXPECT_EQ(p.marks[1].id_field.size(), pnm_->config().anon_len);
+}
+
+TEST_F(AttackFixture, RemovalMoleAll) {
+  RemovalMole mole(RemovalPolicy::kAll);
+  net::Packet p = marked_packet(*nested_, {1, 2, 3});
+  auto c = ctx(*nested_);
+  mole.on_forward(p, c);
+  EXPECT_TRUE(p.marks.empty());
+}
+
+TEST_F(AttackFixture, RemovalMoleFirstK) {
+  RemovalMole mole(RemovalPolicy::kFirstK, 2);
+  net::Packet p = marked_packet(*nested_, {1, 2, 3});
+  auto c = ctx(*nested_);
+  mole.on_forward(p, c);
+  ASSERT_EQ(p.marks.size(), 1u);
+  EXPECT_EQ(marking::decode_id(p.marks[0].id_field).value(), 3);
+}
+
+TEST_F(AttackFixture, RemovalMoleFirstKClampsToSize) {
+  RemovalMole mole(RemovalPolicy::kFirstK, 10);
+  net::Packet p = marked_packet(*nested_, {1, 2});
+  auto c = ctx(*nested_);
+  mole.on_forward(p, c);
+  EXPECT_TRUE(p.marks.empty());
+}
+
+TEST_F(AttackFixture, RemovalMoleTargetsSpecificIdsWhenPlaintext) {
+  RemovalMole mole(RemovalPolicy::kTargetIds, 0, {2});
+  net::Packet p = marked_packet(*nested_, {1, 2, 3});
+  auto c = ctx(*nested_);
+  mole.on_forward(p, c);
+  ASSERT_EQ(p.marks.size(), 2u);
+  EXPECT_EQ(marking::decode_id(p.marks[0].id_field).value(), 1);
+  EXPECT_EQ(marking::decode_id(p.marks[1].id_field).value(), 3);
+}
+
+TEST_F(AttackFixture, RemovalMoleTargetedIsBlindUnderPnm) {
+  // Anonymous IDs: the mole cannot find node 2's mark.
+  RemovalMole mole(RemovalPolicy::kTargetIds, 0, {2});
+  net::Packet p = marked_packet(*pnm_, {1, 2, 3});
+  auto c = ctx(*pnm_);
+  mole.on_forward(p, c);
+  EXPECT_EQ(p.marks.size(), 3u);
+}
+
+TEST_F(AttackFixture, ReorderMolePermutesMarks) {
+  ReorderMole mole;
+  net::Packet p = marked_packet(*nested_, {1, 2, 3, 4, 5, 6, 7, 8});
+  auto before = p.marks;
+  auto c = ctx(*nested_);
+  // Shuffle can be identity by chance; retry a few times.
+  bool changed = false;
+  for (int i = 0; i < 10 && !changed; ++i) {
+    mole.on_forward(p, c);
+    changed = (p.marks != before);
+  }
+  EXPECT_TRUE(changed);
+  // Same multiset of marks either way.
+  auto sorted_ids = [](const std::vector<net::Mark>& marks) {
+    std::vector<Bytes> ids;
+    for (const auto& m : marks) ids.push_back(m.id_field);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+  EXPECT_EQ(sorted_ids(p.marks), sorted_ids(before));
+}
+
+TEST_F(AttackFixture, AlterMoleFirstCorruptsOneMark) {
+  AlterMole mole(AlterPolicy::kFirst);
+  net::Packet p = marked_packet(*nested_, {1, 2});
+  auto before = p.marks;
+  auto c = ctx(*nested_);
+  mole.on_forward(p, c);
+  EXPECT_NE(p.marks[0].mac, before[0].mac);
+  EXPECT_EQ(p.marks[1], before[1]);
+}
+
+TEST_F(AttackFixture, AlterMoleTargetedWhenPlaintext) {
+  AlterMole mole(AlterPolicy::kTargetIds, {2});
+  net::Packet p = marked_packet(*nested_, {1, 2, 3});
+  auto before = p.marks;
+  auto c = ctx(*nested_);
+  mole.on_forward(p, c);
+  EXPECT_EQ(p.marks[0], before[0]);
+  EXPECT_NE(p.marks[1].mac, before[1].mac);
+  EXPECT_EQ(p.marks[2], before[2]);
+}
+
+TEST_F(AttackFixture, SelectiveDropTargetsPlaintextIds) {
+  SelectiveDropMole mole(DropPolicy::kTargetIds, {1});
+  auto c = ctx(*nested_);
+  net::Packet with_target = marked_packet(*nested_, {1, 2});
+  EXPECT_EQ(mole.on_forward(with_target, c), ForwardAction::kDrop);
+  net::Packet without_target = marked_packet(*nested_, {2, 3});
+  EXPECT_EQ(mole.on_forward(without_target, c), ForwardAction::kForward);
+}
+
+TEST_F(AttackFixture, SelectiveDropBlindUnderPnm) {
+  // §4.2's central claim: with anonymous IDs the targeted drop cannot find
+  // its victims, so everything is forwarded.
+  SelectiveDropMole mole(DropPolicy::kTargetIds, {1});
+  auto c = ctx(*pnm_);
+  for (int i = 0; i < 20; ++i) {
+    net::Packet p = marked_packet(*pnm_, {1, 2});
+    p.report = net::Report{static_cast<std::uint32_t>(i), 0, 0, 0}.encode();
+    EXPECT_EQ(mole.on_forward(p, c), ForwardAction::kForward);
+  }
+}
+
+TEST_F(AttackFixture, DropAnyMarkedDropsMarkedOnly) {
+  SelectiveDropMole mole(DropPolicy::kAnyMarked);
+  auto c = ctx(*pnm_);
+  net::Packet marked = marked_packet(*pnm_, {1});
+  EXPECT_EQ(mole.on_forward(marked, c), ForwardAction::kDrop);
+  net::Packet unmarked = marked_packet(*pnm_, {});
+  EXPECT_EQ(mole.on_forward(unmarked, c), ForwardAction::kForward);
+}
+
+TEST_F(AttackFixture, IdentitySwapForwarderLeavesValidPeerMarks) {
+  IdentitySwapForwarder mole(/*peer=*/10, /*claim_peer_prob=*/1.0, /*own_mark_prob=*/0.0);
+  net::Packet p = marked_packet(*nested_, {1, 2});
+  auto c = ctx(*nested_, 5);
+  mole.on_forward(p, c);
+  ASSERT_EQ(p.marks.size(), 3u);
+  // The forged mark claims node 10 and VERIFIES (the mole owns 10's key).
+  auto vr = nested_->verify(p, keys_);
+  ASSERT_EQ(vr.chain.size(), 3u);
+  EXPECT_EQ(vr.chain.back().node, 10);
+}
+
+TEST_F(AttackFixture, IdentitySwapForwarderCannotClaimUncompromised) {
+  IdentitySwapForwarder mole(/*peer=*/3, 1.0, 0.0);  // 3 is NOT in the ring
+  net::Packet p = marked_packet(*nested_, {1});
+  auto c = ctx(*nested_, 5);
+  mole.on_forward(p, c);
+  EXPECT_EQ(p.marks.size(), 1u);  // no key, no mark
+}
+
+TEST_F(AttackFixture, CompositeAppliesInOrderAndDropWins) {
+  std::vector<std::unique_ptr<MoleBehavior>> parts;
+  parts.push_back(std::make_unique<RemovalMole>(RemovalPolicy::kAll));
+  parts.push_back(std::make_unique<SelectiveDropMole>(DropPolicy::kAnyMarked));
+  CompositeMole mole(std::move(parts));
+  auto c = ctx(*nested_);
+  // Marks removed first, so the drop stage sees an unmarked packet.
+  net::Packet p = marked_packet(*nested_, {1, 2});
+  EXPECT_EQ(mole.on_forward(p, c), ForwardAction::kForward);
+  EXPECT_TRUE(p.marks.empty());
+}
+
+// ----------------------------------------------------------- source moles
+
+TEST_F(AttackFixture, PlainSourceEmitsDistinctBogusReports) {
+  PlainSourceMole source(10, 3, 4);
+  auto c = ctx(*nested_, 10);
+  net::Packet a = source.make_packet(c);
+  net::Packet b = source.make_packet(c);
+  EXPECT_TRUE(a.bogus);
+  EXPECT_EQ(a.true_source, 10);
+  EXPECT_NE(a.report, b.report);
+  EXPECT_EQ(a.seq + 1, b.seq);
+  EXPECT_TRUE(a.marks.empty());
+}
+
+TEST_F(AttackFixture, InsertionSourceSeedsForgedPrefix) {
+  InsertionSourceMole source(10, 3, 4, {1, 2});
+  auto c = ctx(*nested_, 10);
+  net::Packet p = source.make_packet(c);
+  EXPECT_EQ(p.marks.size(), 2u);
+  auto vr = nested_->verify(p, keys_);
+  EXPECT_TRUE(vr.chain.empty());  // forged MACs can't verify
+}
+
+TEST_F(AttackFixture, IdentitySwapSourceClaimsPeerValidly) {
+  IdentitySwapSource source(10, 3, 4, /*peer=*/5, 1.0, 0.0);
+  auto c = ctx(*nested_, 10);
+  net::Packet p = source.make_packet(c);
+  ASSERT_EQ(p.marks.size(), 1u);
+  auto vr = nested_->verify(p, keys_);
+  ASSERT_EQ(vr.chain.size(), 1u);
+  EXPECT_EQ(vr.chain[0].node, 5);
+}
+
+// -------------------------------------------------------------- scenarios
+
+TEST(Scenario, NamesAndEnumeration) {
+  EXPECT_EQ(all_attack_kinds().size(), 10u);
+  for (AttackKind kind : all_attack_kinds()) EXPECT_NE(attack_kind_name(kind), "?");
+}
+
+TEST(Scenario, SourceOnlyHasNoForwarder) {
+  net::Topology topo = net::Topology::chain(6);
+  net::RoutingTable routing(topo, net::RoutingStrategy::kTree);
+  Scenario s = make_scenario(AttackKind::kSourceOnly, topo, routing, 7, 0);
+  EXPECT_EQ(s.source, 7);
+  EXPECT_EQ(s.forwarder, kInvalidNode);
+  EXPECT_EQ(s.forwarder_mole, nullptr);
+  EXPECT_EQ(s.moles, (std::vector<NodeId>{7}));
+  ASSERT_NE(s.source_mole, nullptr);
+}
+
+TEST(Scenario, ForwarderPlacedOnPath) {
+  net::Topology topo = net::Topology::chain(8);
+  net::RoutingTable routing(topo, net::RoutingStrategy::kTree);
+  for (AttackKind kind : all_attack_kinds()) {
+    if (kind == AttackKind::kSourceOnly) continue;
+    Scenario s = make_scenario(kind, topo, routing, 9, 4);
+    ASSERT_NE(s.forwarder, kInvalidNode) << attack_kind_name(kind);
+    auto path = routing.path_to_sink(9);
+    EXPECT_NE(std::find(path.begin(), path.end(), s.forwarder), path.end());
+    EXPECT_NE(s.forwarder, 9);
+    EXPECT_EQ(s.moles.size(), 2u);
+    ASSERT_NE(s.forwarder_mole, nullptr);
+  }
+}
+
+TEST(Scenario, OffsetClampedToPath) {
+  net::Topology topo = net::Topology::chain(4);
+  net::RoutingTable routing(topo, net::RoutingStrategy::kTree);
+  Scenario s = make_scenario(AttackKind::kRemoval, topo, routing, 5, 100);
+  // Clamped inside the path, not the sink, not the source.
+  EXPECT_NE(s.forwarder, kSinkId);
+  EXPECT_NE(s.forwarder, 5);
+}
+
+}  // namespace
+}  // namespace pnm::attack

@@ -1,0 +1,86 @@
+// End-to-end tests of the `pnm` CLI binary: every subcommand runs, produces
+// the expected shape of output, and exits with the right status. Exercises
+// the tool the way a user does (subprocess + captured stdout).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+CliResult run_cli(const std::string& args) {
+  // The test binary runs from build/tests; the tool lives in build/tools.
+  std::string cmd = "../tools/pnm " + args + " 2>&1";
+  std::array<char, 4096> buf{};
+  CliResult result;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return result;
+  while (std::fgets(buf.data(), buf.size(), pipe)) result.out += buf.data();
+  int status = pclose(pipe);
+  result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+bool tool_available() {
+  FILE* f = std::fopen("../tools/pnm", "rb");
+  if (f) std::fclose(f);
+  return f != nullptr;
+}
+
+#define REQUIRE_TOOL() \
+  if (!tool_available()) GTEST_SKIP() << "pnm tool not built next to tests"
+
+TEST(Cli, ListEnumeratesSchemesAndAttacks) {
+  REQUIRE_TOOL();
+  CliResult r = run_cli("list");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("pnm"), std::string::npos);
+  EXPECT_NE(r.out.find("extended-ams"), std::string::npos);
+  EXPECT_NE(r.out.find("identity-swap"), std::string::npos);
+  EXPECT_NE(r.out.find("selective-drop"), std::string::npos);
+}
+
+TEST(Cli, ExperimentReportsVerdict) {
+  REQUIRE_TOOL();
+  CliResult r = run_cli("experiment --forwarders 8 --packets 120 --seed 5");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("identified"), std::string::npos);
+  EXPECT_NE(r.out.find("mole in suspects (ground truth) | YES"), std::string::npos);
+}
+
+TEST(Cli, ExperimentRenderDotEmitsGraphviz) {
+  REQUIRE_TOOL();
+  CliResult r = run_cli("experiment --forwarders 6 --packets 80 --render dot");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("digraph traceback"), std::string::npos);
+}
+
+TEST(Cli, CampaignNeutralizesAttack) {
+  REQUIRE_TOOL();
+  CliResult r = run_cli("campaign --forwarders 12 --attack source-only --seed 7");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("caught"), std::string::npos);
+}
+
+TEST(Cli, ModelPrintsClosedForms) {
+  REQUIRE_TOOL();
+  CliResult r = run_cli("model --forwarders 20");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("90% full mark collection"), std::string::npos);
+}
+
+TEST(Cli, UnknownInputsFailCleanly) {
+  REQUIRE_TOOL();
+  EXPECT_EQ(run_cli("frobnicate").exit_code, 2);
+  EXPECT_EQ(run_cli("experiment --scheme nonsense").exit_code, 2);
+  EXPECT_EQ(run_cli("experiment --attack nonsense").exit_code, 2);
+  EXPECT_EQ(run_cli("").exit_code, 2);
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+// Core driver tests: configuration resolution, deployment wiring, chain
+// experiments and the catch-isolate campaign.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/campaign.h"
+#include "core/config.h"
+
+namespace pnm::core {
+namespace {
+
+// ----------------------------------------------------------------- config
+
+TEST(PnmConfig, DerivesProbabilityFromTargetMarks) {
+  PnmConfig cfg;
+  cfg.target_marks_per_packet = 3.0;
+  EXPECT_DOUBLE_EQ(cfg.probability_for_path(10), 0.3);
+  EXPECT_DOUBLE_EQ(cfg.probability_for_path(30), 0.1);
+  EXPECT_DOUBLE_EQ(cfg.probability_for_path(2), 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(cfg.probability_for_path(0), 1.0);
+}
+
+TEST(PnmConfig, ExplicitProbabilityWins) {
+  PnmConfig cfg;
+  cfg.mark_probability = 0.5;
+  EXPECT_DOUBLE_EQ(cfg.probability_for_path(10), 0.5);
+}
+
+TEST(PnmConfig, SchemeConfigCarriesWidths) {
+  PnmConfig cfg;
+  cfg.mac_len = 8;
+  cfg.anon_len = 3;
+  auto sc = cfg.scheme_config(10);
+  EXPECT_EQ(sc.mac_len, 8u);
+  EXPECT_EQ(sc.anon_len, 3u);
+  EXPECT_DOUBLE_EQ(sc.mark_probability, 0.3);
+}
+
+// ------------------------------------------------------- chain experiment
+
+TEST(ChainExperiment, SourceOnlyPnmIdentifiesV1) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 10;
+  cfg.packets = 100;
+  cfg.seed = 42;
+  ChainExperimentResult r = run_chain_experiment(cfg);
+
+  EXPECT_EQ(r.packets_injected, 100u);
+  EXPECT_EQ(r.packets_delivered, 100u);  // lossless links, no dropping mole
+  ASSERT_TRUE(r.final_analysis.identified);
+  EXPECT_EQ(r.v1, 10);  // chain: V1 (first forwarder after source 11) is node 10
+  EXPECT_TRUE(r.correct_source_neighborhood);
+  EXPECT_TRUE(r.mole_in_suspects);  // source 11 is inside V1's neighborhood
+  ASSERT_TRUE(r.packets_to_identify.has_value());
+  EXPECT_GE(*r.packets_to_identify, 1u);
+  EXPECT_LE(*r.packets_to_identify, 100u);
+  EXPECT_EQ(r.moles, (std::vector<NodeId>{11}));
+  EXPECT_GT(r.total_energy_uj, 0.0);
+  EXPECT_GT(r.sim_duration_s, 0.0);
+}
+
+TEST(ChainExperiment, DeterministicForSameSeed) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 8;
+  cfg.packets = 60;
+  cfg.seed = 7;
+  ChainExperimentResult a = run_chain_experiment(cfg);
+  ChainExperimentResult b = run_chain_experiment(cfg);
+  EXPECT_EQ(a.packets_to_identify, b.packets_to_identify);
+  EXPECT_EQ(a.final_analysis.stop_node, b.final_analysis.stop_node);
+  EXPECT_EQ(a.markers_seen, b.markers_seen);
+  EXPECT_EQ(a.marks_verified, b.marks_verified);
+}
+
+TEST(ChainExperiment, DifferentSeedsExploreDifferentRuns) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 15;
+  cfg.packets = 60;
+  cfg.seed = 1;
+  auto a = run_chain_experiment(cfg);
+  cfg.seed = 2;
+  auto b = run_chain_experiment(cfg);
+  // Same conclusion, (almost surely) different trajectories.
+  EXPECT_EQ(a.final_analysis.stop_node, b.final_analysis.stop_node);
+  EXPECT_NE(a.marks_verified, b.marks_verified);
+}
+
+TEST(ChainExperiment, ObserverSeesEveryDelivery) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 5;
+  cfg.packets = 30;
+  cfg.seed = 3;
+  std::size_t calls = 0;
+  std::size_t last_count = 0;
+  auto r = run_chain_experiment(cfg, [&](std::size_t count, const sink::TracebackEngine&) {
+    ++calls;
+    EXPECT_EQ(count, calls);
+    last_count = count;
+  });
+  EXPECT_EQ(calls, r.packets_delivered);
+  EXPECT_EQ(last_count, 30u);
+}
+
+TEST(ChainExperiment, NestedIdentifiesWithOnePacket) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 12;
+  cfg.packets = 5;
+  cfg.protocol.scheme = marking::SchemeKind::kNested;
+  cfg.seed = 11;
+  auto r = run_chain_experiment(cfg);
+  ASSERT_TRUE(r.final_analysis.identified);
+  EXPECT_EQ(*r.packets_to_identify, 1u);  // deterministic full-path marks
+  EXPECT_TRUE(r.correct_source_neighborhood);
+}
+
+TEST(ChainExperiment, MarkerCoverageGrowsWithTraffic) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 20;
+  cfg.seed = 13;
+  cfg.packets = 5;
+  auto small = run_chain_experiment(cfg);
+  cfg.packets = 120;
+  auto large = run_chain_experiment(cfg);
+  EXPECT_LE(small.markers_seen.size(), large.markers_seen.size());
+  EXPECT_EQ(large.markers_seen.size(), 20u);  // all forwarders seen by 120 pkts
+}
+
+TEST(ChainExperiment, LossyLinksStillIdentify) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 8;
+  cfg.packets = 200;
+  cfg.link_loss = 0.05;
+  cfg.seed = 17;
+  auto r = run_chain_experiment(cfg);
+  EXPECT_LT(r.packets_delivered, r.packets_injected);
+  EXPECT_TRUE(r.final_analysis.identified);
+  EXPECT_TRUE(r.correct_source_neighborhood);
+}
+
+TEST(ChainExperiment, RemovalAttackStopsAtMoleNeighborhood) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 10;
+  cfg.packets = 150;
+  cfg.attack = attack::AttackKind::kRemoval;
+  cfg.seed = 19;
+  auto r = run_chain_experiment(cfg);
+  ASSERT_TRUE(r.final_analysis.identified);
+  // Under PNM the removal mole cannot frame innocents: some mole must be in
+  // the suspect neighborhood.
+  EXPECT_TRUE(r.mole_in_suspects);
+}
+
+TEST(ChainExperiment, SelectiveDropDefeatsNaiveProbNested) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 10;
+  cfg.packets = 300;
+  cfg.attack = attack::AttackKind::kSelectiveDrop;
+  cfg.protocol.scheme = marking::SchemeKind::kNaiveProbNested;
+  cfg.seed = 23;
+  auto r = run_chain_experiment(cfg);
+  // The paper's §4.2 attack: traceback concludes... on an innocent node.
+  ASSERT_TRUE(r.final_analysis.identified);
+  EXPECT_FALSE(r.mole_in_suspects);
+}
+
+TEST(ChainExperiment, SelectiveDropHarmlessAgainstPnm) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 10;
+  cfg.packets = 300;
+  cfg.attack = attack::AttackKind::kSelectiveDrop;
+  cfg.protocol.scheme = marking::SchemeKind::kPnm;
+  cfg.seed = 23;
+  auto r = run_chain_experiment(cfg);
+  ASSERT_TRUE(r.final_analysis.identified);
+  EXPECT_TRUE(r.mole_in_suspects);
+  EXPECT_TRUE(r.correct_source_neighborhood);  // drop is blind, nothing filtered
+}
+
+TEST(ChainExperiment, IdentitySwapResolvedViaLoop) {
+  ChainExperimentConfig cfg;
+  cfg.forwarders = 10;
+  cfg.packets = 400;
+  cfg.attack = attack::AttackKind::kIdentitySwap;
+  cfg.protocol.scheme = marking::SchemeKind::kPnm;
+  cfg.seed = 29;
+  auto r = run_chain_experiment(cfg);
+  ASSERT_TRUE(r.final_analysis.identified);
+  EXPECT_TRUE(r.final_analysis.via_loop);
+  EXPECT_FALSE(r.final_analysis.loop.empty());
+  EXPECT_TRUE(r.mole_in_suspects);
+}
+
+// ---------------------------------------------------------- catch campaign
+
+TEST(CatchCampaign, ChainSourceOnlyCaughtQuickly) {
+  CatchCampaignConfig cfg;
+  cfg.field = FieldKind::kChain;
+  cfg.forwarders = 15;
+  cfg.attack = attack::AttackKind::kSourceOnly;
+  cfg.seed = 5;
+  auto r = run_catch_campaign(cfg);
+  ASSERT_EQ(r.phases.size(), 1u);
+  EXPECT_EQ(r.phases[0].caught, 16);  // the source mole
+  EXPECT_TRUE(r.all_moles_caught);
+  EXPECT_TRUE(r.attack_neutralized);
+  EXPECT_LT(r.phases[0].bogus_delivered, 200u);  // caught fast (paper: ~50)
+  EXPECT_GT(r.total_energy_uj, 0.0);
+}
+
+TEST(CatchCampaign, GridCatchesColludersAcrossPhases) {
+  CatchCampaignConfig cfg;
+  cfg.field = FieldKind::kGrid;
+  cfg.grid_width = 8;
+  cfg.grid_height = 8;
+  cfg.attack = attack::AttackKind::kRemoval;
+  cfg.max_packets = 4000;
+  cfg.seed = 9;
+  auto r = run_catch_campaign(cfg);
+  EXPECT_TRUE(r.attack_neutralized);
+  EXPECT_GE(r.phases.size(), 1u);
+  // Every caught node really was a mole.
+  for (const auto& phase : r.phases) {
+    EXPECT_NE(phase.caught, kInvalidNode);
+    EXPECT_GE(phase.inspections, 1u);
+  }
+}
+
+TEST(CatchCampaign, DeterministicForSameSeed) {
+  CatchCampaignConfig cfg;
+  cfg.field = FieldKind::kChain;
+  cfg.forwarders = 10;
+  cfg.attack = attack::AttackKind::kSourceOnly;
+  cfg.seed = 31;
+  auto a = run_catch_campaign(cfg);
+  auto b = run_catch_campaign(cfg);
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].caught, b.phases[i].caught);
+    EXPECT_EQ(a.phases[i].bogus_delivered, b.phases[i].bogus_delivered);
+  }
+  EXPECT_EQ(a.total_bogus_injected, b.total_bogus_injected);
+}
+
+TEST(CatchCampaign, BudgetExhaustionTerminates) {
+  CatchCampaignConfig cfg;
+  cfg.field = FieldKind::kChain;
+  cfg.forwarders = 30;
+  cfg.attack = attack::AttackKind::kSourceOnly;
+  cfg.max_packets = 3;  // far too few to identify
+  cfg.seed = 37;
+  auto r = run_catch_campaign(cfg);
+  EXPECT_TRUE(r.phases.empty());
+  EXPECT_FALSE(r.all_moles_caught);
+  EXPECT_LE(r.total_bogus_injected, 3u);
+}
+
+}  // namespace
+}  // namespace pnm::core

@@ -1,0 +1,212 @@
+// Crypto substrate tests: SHA-256 against FIPS 180-4 vectors, HMAC-SHA256
+// against RFC 4231 vectors, key derivation, anonymous-ID properties.
+#include <gtest/gtest.h>
+
+#include "crypto/anon_id.h"
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "crypto/sha256.h"
+
+namespace pnm::crypto {
+namespace {
+
+Bytes str_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string digest_hex(const Sha256Digest& d) { return to_hex(ByteView(d.data(), d.size())); }
+
+// --------------------------------------------------------------- SHA-256
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha256::hash(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(Sha256::hash(str_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(Sha256::hash(
+                str_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(digest_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(i * 37));
+  Sha256Digest oneshot = Sha256::hash(data);
+
+  // Feed in awkward chunk sizes straddling the 64-byte block boundary.
+  for (std::size_t chunk : {1u, 7u, 63u, 64u, 65u, 127u}) {
+    Sha256 ctx;
+    for (std::size_t off = 0; off < data.size(); off += chunk) {
+      std::size_t len = std::min(chunk, data.size() - off);
+      ctx.update(ByteView(data.data() + off, len));
+    }
+    EXPECT_EQ(ctx.finish(), oneshot) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaryLengths) {
+  // 55/56/63/64 bytes exercise every padding branch.
+  for (std::size_t len : {55u, 56u, 63u, 64u, 119u, 120u}) {
+    Bytes data(len, 0x5a);
+    Sha256 a;
+    a.update(data);
+    EXPECT_EQ(a.finish(), Sha256::hash(data)) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ResetReusesContext) {
+  Sha256 ctx;
+  ctx.update(str_bytes("garbage"));
+  (void)ctx.finish();
+  ctx.reset();
+  ctx.update(str_bytes("abc"));
+  EXPECT_EQ(digest_hex(ctx.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+// ----------------------------------------------------------- HMAC-SHA256
+
+TEST(HmacSha256, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  auto mac = hmac_sha256(key, str_bytes("Hi There"));
+  EXPECT_EQ(digest_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  auto mac = hmac_sha256(str_bytes("Jefe"), str_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(digest_hex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  Bytes key(131, 0xaa);  // longer than one block: key gets hashed first
+  auto mac = hmac_sha256(key, str_bytes("Test Using Larger Than Block-Size Key - "
+                                        "Hash Key First"));
+  EXPECT_EQ(digest_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(TruncatedMac, IsPrefixOfFullMac) {
+  Bytes key = str_bytes("k");
+  Bytes data = str_bytes("payload");
+  auto full = hmac_sha256(key, data);
+  for (std::size_t len : {1u, 4u, 8u, 16u, 32u}) {
+    Bytes t = truncated_mac(key, data, len);
+    ASSERT_EQ(t.size(), len);
+    EXPECT_TRUE(std::equal(t.begin(), t.end(), full.begin()));
+  }
+}
+
+TEST(VerifyMac, AcceptsGenuineRejectsTampered) {
+  Bytes key = str_bytes("secret");
+  Bytes data = str_bytes("message");
+  Bytes mac = truncated_mac(key, data, 4);
+  EXPECT_TRUE(verify_mac(key, data, mac));
+
+  Bytes bad_mac = mac;
+  bad_mac[0] ^= 1;
+  EXPECT_FALSE(verify_mac(key, data, bad_mac));
+
+  Bytes bad_data = data;
+  bad_data[0] ^= 1;
+  EXPECT_FALSE(verify_mac(key, bad_data, mac));
+
+  EXPECT_FALSE(verify_mac(str_bytes("wrong"), data, mac));
+}
+
+TEST(VerifyMac, RejectsDegenerateMacSizes) {
+  Bytes key = str_bytes("k");
+  Bytes data = str_bytes("d");
+  EXPECT_FALSE(verify_mac(key, data, Bytes{}));
+  EXPECT_FALSE(verify_mac(key, data, Bytes(33, 0)));
+}
+
+// ----------------------------------------------------------------- keys
+
+TEST(KeyStore, DeterministicAndDistinct) {
+  Bytes master = str_bytes("master-secret");
+  KeyStore a(master, 50), b(master, 50);
+  EXPECT_EQ(a.size(), 50u);
+  for (NodeId id = 0; id < 50; ++id) {
+    EXPECT_EQ(a.key(id), b.key(id));
+    EXPECT_EQ(a.key(id)->size(), kKeySize);
+  }
+  // Distinct nodes get distinct keys.
+  for (NodeId i = 0; i < 50; ++i)
+    for (NodeId j = static_cast<NodeId>(i + 1); j < 50; ++j)
+      EXPECT_NE(*a.key(i), *a.key(j));
+}
+
+TEST(KeyStore, DifferentMastersDiffer) {
+  KeyStore a(str_bytes("m1"), 4), b(str_bytes("m2"), 4);
+  for (NodeId id = 0; id < 4; ++id) EXPECT_NE(a.key(id), b.key(id));
+}
+
+TEST(KeyStore, OutOfRangeIsNullopt) {
+  KeyStore ks(str_bytes("m"), 3);
+  EXPECT_FALSE(ks.key(3).has_value());
+  EXPECT_FALSE(ks.key(kInvalidNode).has_value());
+}
+
+// -------------------------------------------------------------- anon ids
+
+TEST(AnonId, DeterministicPerMessageAndNode) {
+  Bytes key = str_bytes("node-key");
+  Bytes msg = str_bytes("report-1");
+  EXPECT_EQ(anon_id(key, msg, 7), anon_id(key, msg, 7));
+  EXPECT_EQ(anon_id(key, msg, 7).size(), kDefaultAnonIdSize);
+}
+
+TEST(AnonId, ChangesPerMessage) {
+  // §4.2: the mapping must change per message so it cannot be accumulated.
+  Bytes key = str_bytes("node-key");
+  EXPECT_NE(anon_id(key, str_bytes("report-1"), 7), anon_id(key, str_bytes("report-2"), 7));
+}
+
+TEST(AnonId, ChangesPerNodeAndKey) {
+  Bytes msg = str_bytes("report");
+  EXPECT_NE(anon_id(str_bytes("k1"), msg, 7), anon_id(str_bytes("k2"), msg, 7));
+  EXPECT_NE(anon_id(str_bytes("k1"), msg, 7), anon_id(str_bytes("k1"), msg, 8));
+}
+
+TEST(AnonId, ConfigurableWidth) {
+  Bytes key = str_bytes("k");
+  Bytes msg = str_bytes("m");
+  for (std::size_t len : {1u, 2u, 4u, 8u}) EXPECT_EQ(anon_id(key, msg, 1, len).size(), len);
+}
+
+TEST(AnonId, DomainSeparatedFromMarkingMac) {
+  // The anon-ID PRF and the marking MAC use the same key; identical inputs
+  // must not produce related outputs.
+  Bytes key = str_bytes("k");
+  Bytes msg = str_bytes("m");
+  Bytes anon = anon_id(key, msg, 7, 32);
+  ByteWriter w;
+  w.blob16(msg);
+  w.u16(7);
+  Bytes mac = truncated_mac(key, w.bytes(), 32);
+  EXPECT_NE(anon, mac);
+}
+
+}  // namespace
+}  // namespace pnm::crypto

@@ -1,0 +1,190 @@
+// SEF (statistical en-route filtering) substrate tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "filter/sef.h"
+#include "filter/sef_layer.h"
+#include "net/routing.h"
+#include "net/simulator.h"
+
+namespace pnm::filter {
+namespace {
+
+Bytes str_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+class SefFixture : public ::testing::Test {
+ protected:
+  SefFixture() : ctx_(str_bytes("sef-master"), SefParams{}), rng_(61) {}
+  SefContext ctx_;
+  Rng rng_;
+  Bytes report_ = str_bytes("event-report");
+};
+
+TEST_F(SefFixture, PartitionAssignmentStableAndInRange) {
+  for (NodeId id = 0; id < 200; ++id) {
+    auto p = ctx_.partition_of(id);
+    EXPECT_LT(p, ctx_.params().partitions);
+    EXPECT_EQ(p, ctx_.partition_of(id));
+  }
+}
+
+TEST_F(SefFixture, PartitionsWellSpread) {
+  std::set<std::uint16_t> seen;
+  for (NodeId id = 0; id < 200; ++id) seen.insert(ctx_.partition_of(id));
+  EXPECT_EQ(seen.size(), ctx_.params().partitions);  // all 10 used
+}
+
+TEST_F(SefFixture, LegitReportPassesEverywhere) {
+  SefReport r = ctx_.make_legit_report(report_, rng_);
+  EXPECT_EQ(r.endorsements.size(), ctx_.params().endorsements);
+  // Distinct partitions.
+  std::set<std::uint16_t> parts;
+  for (const auto& e : r.endorsements) parts.insert(e.partition);
+  EXPECT_EQ(parts.size(), r.endorsements.size());
+
+  EXPECT_TRUE(ctx_.check_at_sink(r));
+  for (NodeId v = 0; v < 100; ++v) EXPECT_TRUE(ctx_.check_en_route(v, r));
+}
+
+TEST_F(SefFixture, ForgedReportCaughtAtSink) {
+  SefReport r = ctx_.make_forged_report(report_, {ctx_.partition_of(5)}, rng_);
+  EXPECT_EQ(r.endorsements.size(), ctx_.params().endorsements);
+  EXPECT_FALSE(ctx_.check_at_sink(r));
+}
+
+TEST_F(SefFixture, ForgedReportDroppedEnRouteAtExpectedRate) {
+  // Mole owns 1 partition: per-hop drop probability (T-1)/m = 4/10.
+  std::vector<std::uint16_t> owned{ctx_.partition_of(5)};
+  int drops = 0;
+  const int trials = 4000;
+  for (int t = 0; t < trials; ++t) {
+    Bytes rpt = str_bytes("r" + std::to_string(t));
+    SefReport r = ctx_.make_forged_report(rpt, owned, rng_);
+    NodeId checker = static_cast<NodeId>(rng_.next_below(500));
+    if (!ctx_.check_en_route(checker, r)) ++drops;
+  }
+  EXPECT_NEAR(drops / static_cast<double>(trials),
+              ctx_.per_hop_drop_probability(1), 0.03);
+}
+
+TEST_F(SefFixture, FullyProvisionedMoleEvadesFiltering) {
+  // A mole owning T partitions forges perfectly — SEF's known limit, and the
+  // reason the paper argues filtering alone cannot stop moles.
+  std::vector<std::uint16_t> owned;
+  for (std::uint16_t p = 0; p < ctx_.params().endorsements; ++p) owned.push_back(p);
+  SefReport r = ctx_.make_forged_report(report_, owned, rng_);
+  EXPECT_TRUE(ctx_.check_at_sink(r));
+  for (NodeId v = 0; v < 50; ++v) EXPECT_TRUE(ctx_.check_en_route(v, r));
+}
+
+TEST_F(SefFixture, SinkRejectsDuplicateOrMalformedEndorsements) {
+  SefReport r = ctx_.make_legit_report(report_, rng_);
+  SefReport dup = r;
+  dup.endorsements[1] = dup.endorsements[0];
+  EXPECT_FALSE(ctx_.check_at_sink(dup));
+
+  SefReport missing = r;
+  missing.endorsements.pop_back();
+  EXPECT_FALSE(ctx_.check_at_sink(missing));
+  EXPECT_FALSE(ctx_.check_en_route(3, missing));
+
+  SefReport out_of_range = r;
+  out_of_range.endorsements[0].partition = 1000;
+  EXPECT_FALSE(ctx_.check_at_sink(out_of_range));
+}
+
+TEST_F(SefFixture, TamperedReportBodyFails) {
+  SefReport r = ctx_.make_legit_report(report_, rng_);
+  r.report[0] ^= 1;
+  EXPECT_FALSE(ctx_.check_at_sink(r));
+}
+
+TEST_F(SefFixture, DropProbabilityFormula) {
+  EXPECT_DOUBLE_EQ(ctx_.per_hop_drop_probability(0), 0.5);   // 5/10
+  EXPECT_DOUBLE_EQ(ctx_.per_hop_drop_probability(1), 0.4);
+  EXPECT_DOUBLE_EQ(ctx_.per_hop_drop_probability(5), 0.0);
+  EXPECT_DOUBLE_EQ(ctx_.per_hop_drop_probability(99), 0.0);  // clamped
+}
+
+TEST_F(SefFixture, ExpectedHopsTravelled) {
+  // q = 0.5: E[hops] on a long path -> 2.
+  EXPECT_NEAR(ctx_.expected_hops_travelled(0, 1000), 2.0, 1e-6);
+  // q = 0: travels the whole path.
+  EXPECT_DOUBLE_EQ(ctx_.expected_hops_travelled(5, 17), 17.0);
+  // Monotone in owned partitions.
+  EXPECT_LT(ctx_.expected_hops_travelled(0, 30), ctx_.expected_hops_travelled(3, 30));
+}
+
+// ---------------------------------------------------------------- SefLayer
+
+TEST(SefLayer, ViewIsDeterministicPerReport) {
+  SefLayer layer(SefContext(str_bytes("layer-master"), SefParams{}), {0, 1});
+  Bytes report = str_bytes("some-report");
+  SefReport a = layer.view_of(report, true);
+  SefReport b = layer.view_of(report, true);
+  ASSERT_EQ(a.endorsements.size(), b.endorsements.size());
+  for (std::size_t i = 0; i < a.endorsements.size(); ++i) {
+    EXPECT_EQ(a.endorsements[i].partition, b.endorsements[i].partition);
+    EXPECT_EQ(a.endorsements[i].mac, b.endorsements[i].mac);
+  }
+  // Different reports get different endorsement draws (almost surely).
+  SefReport c = layer.view_of(str_bytes("other-report"), true);
+  EXPECT_NE(a.endorsements[0].mac, c.endorsements[0].mac);
+}
+
+TEST(SefLayer, LegitPassesForgedShedsEnRoute) {
+  SefLayer layer(SefContext(str_bytes("layer-master-2"), SefParams{}), {0});
+  net::Packet legit;
+  legit.report = str_bytes("good");
+  legit.bogus = false;
+  net::Packet forged;
+  forged.report = str_bytes("bad");
+  forged.bogus = true;
+
+  std::size_t legit_pass = 0, forged_pass = 0;
+  for (NodeId v = 0; v < 200; ++v) {
+    if (layer.passes(v, legit)) ++legit_pass;
+    if (layer.passes(v, forged)) ++forged_pass;
+  }
+  EXPECT_EQ(legit_pass, 200u);
+  EXPECT_LT(forged_pass, 200u);  // some partitions catch the forgery
+  EXPECT_GT(forged_pass, 0u);    // but not all (mole owns a partition)
+}
+
+TEST(SefLayer, WrapComposesWithSimulator) {
+  net::Topology topo = net::Topology::chain(10);
+  net::RoutingTable routing(topo, net::RoutingStrategy::kTree);
+  net::Simulator sim(topo, routing, net::LinkModel{}, net::EnergyModel{}, 909);
+  SefLayer layer(SefContext(str_bytes("layer-master-3"), SefParams{}), {0});
+
+  std::size_t shed = 0;
+  for (NodeId v = 1; v <= 10; ++v) sim.set_node_handler(v, layer.wrap(nullptr, &shed));
+
+  std::size_t delivered_bogus = 0, delivered_legit = 0;
+  sim.set_sink_handler([&](net::Packet&& p, double) {
+    if (p.bogus) ++delivered_bogus;
+    else ++delivered_legit;
+  });
+
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    net::Packet bogus;
+    bogus.report = net::Report{0xBAD0 + i, 1, 1, i}.encode();
+    bogus.bogus = true;
+    bogus.true_source = 11;
+    sim.inject(11, std::move(bogus));
+    if (i < 20) {
+      net::Packet legit;
+      legit.report = net::Report{0x600D + i, 2, 2, i}.encode();
+      legit.true_source = 11;
+      sim.inject(11, std::move(legit));
+    }
+  }
+  ASSERT_TRUE(sim.run());
+  EXPECT_EQ(delivered_legit, 20u);      // SEF never sheds real reports
+  EXPECT_LT(delivered_bogus, 60u);      // most forgeries die en route
+  EXPECT_GT(shed, 100u);
+}
+
+}  // namespace
+}  // namespace pnm::filter

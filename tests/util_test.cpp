@@ -1,0 +1,314 @@
+// Unit tests for the util substrate: byte codecs, RNG, statistics, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace pnm {
+namespace {
+
+// ---------------------------------------------------------------- bytes
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data{0x00, 0x01, 0xab, 0xff, 0x7f};
+  std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  auto back = from_hex(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(Bytes, HexRejectsOddLength) { EXPECT_FALSE(from_hex("abc").has_value()); }
+
+TEST(Bytes, HexRejectsNonHexChars) { EXPECT_FALSE(from_hex("zz").has_value()); }
+
+TEST(Bytes, HexAcceptsUppercase) {
+  auto v = from_hex("AB");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 0xab);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  Bytes a{1, 2, 3}, b{1, 2, 3}, c{1, 2, 4}, d{1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(ByteWriter, LittleEndianLayoutExact) {
+  ByteWriter w;
+  w.u16(0x1234);
+  EXPECT_EQ(to_hex(w.bytes()), "3412");
+  ByteWriter w2;
+  w2.u32(0xdeadbeef);
+  EXPECT_EQ(to_hex(w2.bytes()), "efbeadde");
+  ByteWriter w3;
+  w3.u64(0x0102030405060708ULL);
+  EXPECT_EQ(to_hex(w3.bytes()), "0807060504030201");
+}
+
+TEST(ByteReaderWriter, RoundTripAllWidths) {
+  ByteWriter w;
+  w.u8(0xfe);
+  w.u16(0xabcd);
+  w.u32(0x12345678);
+  w.u64(0xdeadbeefcafebabeULL);
+  w.blob16(Bytes{9, 8, 7});
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8().value(), 0xfe);
+  EXPECT_EQ(r.u16().value(), 0xabcd);
+  EXPECT_EQ(r.u32().value(), 0x12345678u);
+  EXPECT_EQ(r.u64().value(), 0xdeadbeefcafebabeULL);
+  EXPECT_EQ(r.blob16().value(), (Bytes{9, 8, 7}));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_FALSE(r.failed());
+}
+
+TEST(ByteReader, FailsOnUnderflowAndStaysFailed) {
+  Bytes data{1, 2};
+  ByteReader r(data);
+  EXPECT_FALSE(r.u32().has_value());
+  EXPECT_TRUE(r.failed());
+  EXPECT_FALSE(r.u8().has_value());  // sticky failure
+}
+
+TEST(ByteReader, Blob16RejectsOverrunningLength) {
+  ByteWriter w;
+  w.u16(100);  // claims 100 bytes follow
+  w.u8(1);
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.blob16().has_value());
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(ByteReader, EmptyBlobOk) {
+  ByteWriter w;
+  w.blob16(Bytes{});
+  ByteReader r(w.bytes());
+  auto blob = r.blob16();
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_TRUE(blob->empty());
+}
+
+// ------------------------------------------------------------------ rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBoundAndCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    std::uint64_t v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i)
+    if (rng.chance(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsIndependent) {
+  Rng base(5);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (f1.next_u64() == f2.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Rng, ShuffleHandlesEmptyAndSingleton) {
+  Rng rng(29);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 0;
+  std::uint64_t a = splitmix64(s);
+  std::uint64_t b = splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 0u);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Accumulator, MeanAndVariance) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+}
+
+TEST(Accumulator, SingleSampleZeroVariance) {
+  Accumulator acc;
+  acc.add(3.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.mean(), 3.5);
+}
+
+TEST(Accumulator, StableUnderManySamples) {
+  Accumulator acc;
+  for (int i = 0; i < 100000; ++i) acc.add(1e9 + (i % 2));  // catastrophic for naive sums
+  EXPECT_NEAR(acc.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(acc.variance(), 0.25, 1e-3);
+}
+
+TEST(SampleSet, PercentilesInterpolate) {
+  SampleSet s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+}
+
+TEST(SampleSet, AddAfterQueryStillCorrect) {
+  SampleSet s;
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+  s.add(20.0);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 10.0);
+}
+
+TEST(SampleSet, EmptyIsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-3.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_FALSE(h.render().empty());
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(Table, RenderAlignsColumns) {
+  Table t({"name", "value"});
+  t.set_title("demo");
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NE(t.render().find("only"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"k", "v"});
+  t.add_row({"has,comma", "has\"quote"});
+  std::string csv = t.csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::size_t{42}), "42");
+  EXPECT_EQ(Table::num(-7), "-7");
+}
+
+}  // namespace
+}  // namespace pnm

@@ -1,0 +1,266 @@
+// pnm — command-line driver for ad-hoc experiments.
+//
+//   pnm experiment [--scheme S] [--attack A] [--forwarders N] [--packets P]
+//                  [--offset K] [--loss F] [--seed X]
+//       One chain experiment; prints the traceback verdict and ground truth.
+//
+//   pnm campaign   [--attack A] [--grid WxH | --forwarders N] [--budget P]
+//                  [--seed X]
+//       Full catch-isolate-repeat campaign; prints each phase.
+//
+//   pnm model      [--forwarders N] [--marks M]
+//       Closed-form answers: packets for 90/99% mark collection, failure
+//       rates, expected identification cost.
+//
+//   pnm matrix     [--packets P] [--forwarders N] [--seed X]
+//       The full scheme-vs-attack security matrix (CAUGHT/MISLED/...).
+//
+//   pnm list
+//       Available schemes and attacks.
+//
+// `pnm experiment --render text|dot` additionally dumps the reconstructed
+// order graph.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analysis/models.h"
+#include "core/campaign.h"
+#include "sink/route_render.h"
+#include "util/table.h"
+
+namespace {
+
+using pnm::Table;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  bool has(const std::string& k) const { return kv.count(k) != 0; }
+  std::string str(const std::string& k, const std::string& dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::size_t num(const std::string& k, std::size_t dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt
+                          : static_cast<std::size_t>(std::strtoull(it->second.c_str(),
+                                                                   nullptr, 10));
+  }
+  double real(const std::string& k, double dflt) const {
+    auto it = kv.find(k);
+    return it == kv.end() ? dflt : std::strtod(it->second.c_str(), nullptr);
+  }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const char* a = argv[i];
+    if (a[0] == '-' && a[1] == '-' && i + 1 < argc) {
+      args.kv[a + 2] = argv[++i];
+    }
+  }
+  return args;
+}
+
+pnm::marking::SchemeKind scheme_by_name(const std::string& name) {
+  for (auto kind : pnm::marking::all_scheme_kinds())
+    if (name == pnm::marking::scheme_kind_name(kind)) return kind;
+  std::fprintf(stderr, "unknown scheme '%s' (try: pnm list)\n", name.c_str());
+  std::exit(2);
+}
+
+pnm::attack::AttackKind attack_by_name(const std::string& name) {
+  for (auto kind : pnm::attack::all_attack_kinds())
+    if (name == pnm::attack::attack_kind_name(kind)) return kind;
+  std::fprintf(stderr, "unknown attack '%s' (try: pnm list)\n", name.c_str());
+  std::exit(2);
+}
+
+int cmd_list() {
+  std::printf("schemes:\n");
+  for (auto kind : pnm::marking::all_scheme_kinds())
+    std::printf("  %s\n", std::string(pnm::marking::scheme_kind_name(kind)).c_str());
+  std::printf("attacks:\n");
+  for (auto kind : pnm::attack::all_attack_kinds())
+    std::printf("  %s\n", std::string(pnm::attack::attack_kind_name(kind)).c_str());
+  return 0;
+}
+
+int cmd_experiment(const Args& args) {
+  pnm::core::ChainExperimentConfig cfg;
+  cfg.forwarders = args.num("forwarders", 10);
+  cfg.packets = args.num("packets", 200);
+  cfg.forwarder_offset = args.num("offset", 0);
+  cfg.link_loss = args.real("loss", 0.0);
+  cfg.seed = args.num("seed", 1);
+  cfg.protocol.scheme = scheme_by_name(args.str("scheme", "pnm"));
+  cfg.protocol.target_marks_per_packet = args.real("marks", 3.0);
+  cfg.attack = attack_by_name(args.str("attack", "source-only"));
+
+  // --render text|dot : dump the reconstructed order graph afterwards.
+  std::string render_mode = args.str("render", "");
+  std::string rendered;
+  pnm::core::PacketObserver observer;
+  if (render_mode == "text" || render_mode == "dot") {
+    observer = [&](std::size_t, const pnm::sink::TracebackEngine& engine) {
+      rendered = render_mode == "dot"
+                     ? pnm::sink::render_route_dot(engine.graph(), engine.analysis())
+                     : pnm::sink::render_route_text(engine.graph(), engine.analysis());
+    };
+  }
+
+  auto r = pnm::core::run_chain_experiment(cfg, observer);
+
+  Table t({"metric", "value"});
+  t.set_title("chain experiment");
+  t.add_row({"scheme", std::string(pnm::marking::scheme_kind_name(cfg.protocol.scheme))});
+  t.add_row({"attack", std::string(pnm::attack::attack_kind_name(cfg.attack))});
+  t.add_row({"forwarders", Table::num(cfg.forwarders)});
+  t.add_row({"bogus injected / delivered",
+             Table::num(r.packets_injected) + " / " + Table::num(r.packets_delivered)});
+  t.add_row({"marks verified", Table::num(r.marks_verified)});
+  t.add_row({"identified", r.final_analysis.identified ? "yes" : "no"});
+  if (r.final_analysis.identified) {
+    t.add_row({"packets to identify", Table::num(r.packets_to_identify.value_or(0))});
+    t.add_row({"stop node", Table::num(static_cast<std::size_t>(r.final_analysis.stop_node))});
+    std::string suspects;
+    for (auto s : r.final_analysis.suspects)
+      suspects += (suspects.empty() ? "" : " ") + Table::num(static_cast<std::size_t>(s));
+    t.add_row({"suspects", suspects});
+    t.add_row({"via loop", r.final_analysis.via_loop ? "yes" : "no"});
+    t.add_row({"mole in suspects (ground truth)", r.mole_in_suspects ? "YES" : "NO"});
+  }
+  std::string moles;
+  for (auto m : r.moles)
+    moles += (moles.empty() ? "" : " ") + Table::num(static_cast<std::size_t>(m));
+  t.add_row({"actual moles", moles});
+  t.add_row({"sim time (s)", Table::num(r.sim_duration_s, 2)});
+  t.add_row({"energy (mJ)", Table::num(r.total_energy_uj / 1000.0, 1)});
+  std::fputs(t.render().c_str(), stdout);
+  if (!rendered.empty()) {
+    std::fputs("\n", stdout);
+    std::fputs(rendered.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_campaign(const Args& args) {
+  pnm::core::CatchCampaignConfig cfg;
+  std::string grid = args.str("grid", "");
+  if (!grid.empty()) {
+    cfg.field = pnm::core::FieldKind::kGrid;
+    std::size_t x = grid.find('x');
+    cfg.grid_width = static_cast<std::size_t>(std::strtoull(grid.c_str(), nullptr, 10));
+    cfg.grid_height = x == std::string::npos
+                          ? cfg.grid_width
+                          : static_cast<std::size_t>(
+                                std::strtoull(grid.c_str() + x + 1, nullptr, 10));
+  } else {
+    cfg.field = pnm::core::FieldKind::kChain;
+    cfg.forwarders = args.num("forwarders", 20);
+  }
+  cfg.attack = attack_by_name(args.str("attack", "removal-blind"));
+  cfg.max_packets = args.num("budget", 5000);
+  cfg.seed = args.num("seed", 1);
+
+  auto r = pnm::core::run_catch_campaign(cfg);
+  Table t({"phase", "caught", "inspections", "wasted", "bogus absorbed", "time (s)",
+           "energy (mJ)"});
+  t.set_title("catch campaign");
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    const auto& phase = r.phases[i];
+    t.add_row({Table::num(i + 1), Table::num(static_cast<std::size_t>(phase.caught)),
+               Table::num(phase.inspections), Table::num(phase.wasted_inspections),
+               Table::num(phase.bogus_delivered), Table::num(phase.duration_s, 1),
+               Table::num(phase.energy_uj / 1000.0, 1)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("result: %s (injected %zu, delivered %zu, %.1f mJ, %.1f s)\n",
+              r.all_moles_caught      ? "all moles caught"
+              : r.attack_neutralized  ? "attack neutralized"
+                                      : "budget exhausted, attack alive",
+              r.total_bogus_injected, r.total_bogus_delivered,
+              r.total_energy_uj / 1000.0, r.total_time_s);
+  return r.attack_neutralized ? 0 : 1;
+}
+
+int cmd_matrix(const Args& args) {
+  std::size_t n = args.num("forwarders", 10);
+  std::size_t packets = args.num("packets", 400);
+  std::vector<std::string> header{"attack \\ scheme"};
+  for (auto kind : pnm::marking::all_scheme_kinds())
+    header.emplace_back(pnm::marking::scheme_kind_name(kind));
+  Table t(std::move(header));
+  t.set_title("scheme vs attack (n=" + Table::num(n) + ", " + Table::num(packets) +
+              " packets)");
+  for (auto attack : pnm::attack::all_attack_kinds()) {
+    std::vector<std::string> row{std::string(pnm::attack::attack_kind_name(attack))};
+    for (auto scheme : pnm::marking::all_scheme_kinds()) {
+      pnm::core::ChainExperimentConfig cfg;
+      cfg.forwarders = n;
+      cfg.packets = packets;
+      cfg.protocol.scheme = scheme;
+      cfg.attack = attack;
+      cfg.seed = args.num("seed", 1) * 31 + static_cast<std::uint64_t>(attack) * 7 +
+                 static_cast<std::uint64_t>(scheme);
+      auto r = pnm::core::run_chain_experiment(cfg);
+      std::string cell;
+      if (r.packets_delivered == 0) cell = "STARVED";
+      else if (!r.final_analysis.identified) cell = "BLIND";
+      else cell = r.mole_in_suspects ? "CAUGHT" : "MISLED";
+      if (r.final_analysis.via_loop) cell += "*";
+      row.push_back(std::move(cell));
+    }
+    t.add_row(std::move(row));
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("(* = via loop analysis; see bench/table_attack_matrix for the "
+              "annotated version)\n");
+  return 0;
+}
+
+int cmd_model(const Args& args) {
+  std::size_t n = args.num("forwarders", 20);
+  double marks = args.real("marks", 3.0);
+  double p = std::min(1.0, marks / static_cast<double>(n));
+  Table t({"quantity", "value"});
+  t.set_title("closed-form model, n=" + Table::num(n) + ", np=" + Table::num(marks, 1));
+  t.add_row({"marking probability p", Table::num(p, 4)});
+  t.add_row({"packets for 90% full mark collection",
+             Table::num(pnm::analysis::packets_for_confidence(n, p, 0.90))});
+  t.add_row({"packets for 99% full mark collection",
+             Table::num(pnm::analysis::packets_for_confidence(n, p, 0.99))});
+  t.add_row({"E[packets] to order the critical V1-V2 pair",
+             Table::num(pnm::analysis::expected_packets_to_order_first_pair(p), 1)});
+  t.add_row({"identification failure prob @200 pkts",
+             Table::num(pnm::analysis::prob_identification_failure(p, 200), 4)});
+  t.add_row({"identification failure prob @800 pkts",
+             Table::num(pnm::analysis::prob_identification_failure(p, 800), 4)});
+  t.add_row({"expected mark bytes per packet",
+             Table::num(pnm::analysis::expected_mark_bytes(n, p, 2, 4), 1)});
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <experiment|campaign|matrix|model|list> [--flag value ...]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string cmd = argv[1];
+  Args args = parse(argc, argv, 2);
+  if (cmd == "list") return cmd_list();
+  if (cmd == "experiment") return cmd_experiment(args);
+  if (cmd == "campaign") return cmd_campaign(args);
+  if (cmd == "matrix") return cmd_matrix(args);
+  if (cmd == "model") return cmd_model(args);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

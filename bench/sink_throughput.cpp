@@ -9,8 +9,19 @@
 //   BM_AnonTableBuild    — per-report table construction vs network size;
 //   BM_VerifyPacketPnm   — full packet verification (table + backward pass);
 //   BM_ScopedLookup      — the §7 O(d) topology-scoped alternative;
-//   BM_VerifyPacketNested— plaintext nested verification for contrast.
+//   BM_VerifyPacketNested— plaintext nested verification for contrast;
+//   BM_BatchVerify       — the batch engine, serial (1 thread) vs N-thread
+//                          sweep over one fixed workload (pkts_per_s is the
+//                          scaling axis; threads=1 is the serial baseline);
+//   BM_BatchVerifyScoped — same sweep through the §7 scoped search with the
+//                          sharded PRF memo cache.
+//
+// After the benchmark run, util::Counters::global() is dumped as one JSON
+// line ("counters: {...}") so CI and scripts can scrape PRF/MAC/cache totals
+// and batch latency percentiles.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
 
 #include "crypto/anon_id.h"
 #include "crypto/hmac.h"
@@ -19,6 +30,8 @@
 #include "net/report.h"
 #include "net/topology.h"
 #include "sink/anon_lookup.h"
+#include "sink/batch_verifier.h"
+#include "util/counters.h"
 #include "util/rng.h"
 
 namespace {
@@ -112,6 +125,84 @@ void BM_ScopedLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_ScopedLookup);
 
+// One fixed batch workload shared by the sweep: distinct-report packets
+// marked along a chain, the shape the sink sees under an injection flood.
+std::vector<pnm::net::Packet> batch_workload(const pnm::crypto::KeyStore& keys,
+                                             const pnm::marking::MarkingScheme& scheme,
+                                             std::size_t packets, std::size_t hops) {
+  pnm::Rng rng(4242);
+  std::vector<pnm::net::Packet> out;
+  out.reserve(packets);
+  for (std::size_t n = 0; n < packets; ++n) {
+    pnm::net::Packet p;
+    p.report = pnm::net::Report{static_cast<std::uint32_t>(n), 3, 3, n}.encode();
+    for (std::size_t h = hops; h >= 1; --h) {
+      auto v = static_cast<pnm::NodeId>(h);
+      scheme.mark(p, v, keys.key_unchecked(v), rng);
+    }
+    p.delivered_by = 1;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+void BM_BatchVerify(benchmark::State& state) {
+  std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::size_t nodes = 1000, hops = 20, packets = 64;
+  pnm::crypto::KeyStore keys(master(), nodes);
+  pnm::marking::SchemeConfig cfg;
+  cfg.mark_probability = 3.0 / static_cast<double>(hops);
+  auto scheme = pnm::marking::make_scheme(pnm::marking::SchemeKind::kPnm, cfg);
+  auto workload = batch_workload(keys, *scheme, packets, hops);
+
+  pnm::sink::BatchVerifierConfig bcfg;
+  bcfg.threads = threads;
+  pnm::sink::BatchVerifier engine(*scheme, keys, bcfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.verify_batch(workload));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * workload.size()));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["pkts_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * workload.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchVerify)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_BatchVerifyScoped(benchmark::State& state) {
+  std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::size_t hops = 20, packets = 64;
+  pnm::net::Topology topo = pnm::net::Topology::chain(hops);
+  pnm::crypto::KeyStore keys(master(), topo.node_count());
+  pnm::marking::SchemeConfig cfg;
+  cfg.mark_probability = 3.0 / static_cast<double>(hops);
+  auto scheme = pnm::marking::make_scheme(pnm::marking::SchemeKind::kPnm, cfg);
+  auto workload = batch_workload(keys, *scheme, packets, hops);
+
+  pnm::sink::BatchVerifierConfig bcfg;
+  bcfg.threads = threads;
+  bcfg.strategy = pnm::sink::BatchStrategy::kScoped;
+  pnm::sink::BatchVerifier engine(*scheme, keys, bcfg, &topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.verify_batch(workload));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * workload.size()));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["pkts_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * workload.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchVerifyScoped)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("counters: %s\n", pnm::util::Counters::global().to_json().c_str());
+  return 0;
+}

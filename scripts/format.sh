@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Apply (default) or check (CHECK=1 / --check) clang-format over every C++
+# source in the repo, using the .clang-format at the root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode=(-i)
+if [[ "${CHECK:-0}" != 0 || "${1:-}" == "--check" ]]; then
+  mode=(--dry-run -Werror)
+fi
+
+git ls-files '*.cpp' '*.h' | xargs clang-format "${mode[@]}"
+echo "clang-format: OK"

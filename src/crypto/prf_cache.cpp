@@ -1,0 +1,86 @@
+#include "crypto/prf_cache.h"
+
+#include <cstring>
+
+#include "crypto/anon_id.h"
+#include "crypto/sha256.h"
+
+namespace pnm::crypto {
+
+namespace {
+
+/// splitmix64 finalizer: full-avalanche mix so shard selection and map
+/// hashing see well-distributed keys even for adjacent node IDs.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t entry_key(std::uint64_t report_key, NodeId node, std::size_t anon_len) {
+  return mix64(report_key ^ (static_cast<std::uint64_t>(node) << 32) ^
+               static_cast<std::uint64_t>(anon_len));
+}
+
+}  // namespace
+
+PrfCache::PrfCache(std::size_t shards, std::size_t max_entries_per_shard)
+    : max_entries_per_shard_(max_entries_per_shard ? max_entries_per_shard : 1) {
+  if (shards == 0) shards = 1;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+std::uint64_t PrfCache::report_key(ByteView report) {
+  Sha256Digest d = Sha256::hash(report);
+  std::uint64_t k = 0;
+  std::memcpy(&k, d.data(), sizeof(k));
+  return k;
+}
+
+Bytes PrfCache::get_or_compute(std::uint64_t report_key, NodeId node, ByteView node_key,
+                               ByteView report, std::size_t anon_len,
+                               util::Counters* counters) {
+  std::uint64_t key = entry_key(report_key, node, anon_len);
+  Shard& shard = *shards_[key % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      if (counters) counters->add(util::Metric::kCacheHits);
+      return it->second;
+    }
+  }
+  // Compute outside the shard lock: the PRF is the expensive part, and two
+  // threads racing on the same key just write the same value twice.
+  if (counters) {
+    counters->add(util::Metric::kCacheMisses);
+    counters->add(util::Metric::kPrfEvals);
+  }
+  Bytes anon = anon_id(node_key, report, node, anon_len);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() >= max_entries_per_shard_) shard.map.clear();
+    shard.map.emplace(key, anon);
+  }
+  return anon;
+}
+
+std::size_t PrfCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
+}
+
+void PrfCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->map.clear();
+  }
+}
+
+}  // namespace pnm::crypto

@@ -1,0 +1,54 @@
+// Sharded memo cache for anonymous-ID PRF evaluations.
+//
+// Scoped verification (§7) probes candidate nodes ring by ring; the same
+// (node, report) pair is probed once per *mark*, so a packet with m marks
+// recomputes up to m identical PRFs per candidate — and a batch re-verifying
+// replayed or duplicate-report traffic recomputes whole tables. This cache
+// memoizes i' = H'_{k_i}(M | i) keyed by (node, message-digest). Shards are
+// independently locked so thread-pool workers rarely contend; a shard that
+// reaches its entry cap is flushed wholesale (epoch eviction) to bound
+// memory without LRU bookkeeping on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.h"
+#include "util/counters.h"
+#include "util/ids.h"
+
+namespace pnm::crypto {
+
+class PrfCache {
+ public:
+  explicit PrfCache(std::size_t shards = 16, std::size_t max_entries_per_shard = 1 << 15);
+
+  /// Stable 64-bit digest of a report; compute once per packet and pass to
+  /// every get_or_compute call for that packet.
+  static std::uint64_t report_key(ByteView report);
+
+  /// Memoized anon_id(node_key, report, node, anon_len). Counter accounting:
+  /// a hit bumps kCacheHits (no PRF computed); a miss bumps kCacheMisses and
+  /// kPrfEvals.
+  Bytes get_or_compute(std::uint64_t report_key, NodeId node, ByteView node_key,
+                       ByteView report, std::size_t anon_len,
+                       util::Counters* counters = nullptr);
+
+  /// Total entries across shards (approximate under concurrent use).
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, Bytes> map;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t max_entries_per_shard_;
+};
+
+}  // namespace pnm::crypto

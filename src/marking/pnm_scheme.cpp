@@ -4,6 +4,7 @@
 #include "crypto/hmac.h"
 #include "marking/mark.h"
 #include "sink/anon_lookup.h"
+#include "util/counters.h"
 
 namespace pnm::marking {
 
@@ -26,9 +27,13 @@ net::Mark PnmScheme::make_mark(const net::Packet& p, NodeId claimed, ByteView ke
 VerifyResult PnmScheme::verify(const net::Packet& p, const crypto::KeyStore& keys) const {
   VerifyResult out;
   out.total_marks = p.marks.size();
+  util::Counters& metrics = util::Counters::global();
+  metrics.add(util::Metric::kPacketsVerified);
   if (p.marks.empty()) return out;
 
   sink::AnonIdTable table(keys, p.report, cfg_.anon_len);
+  // Table construction is one PRF per non-sink node (anon_lookup.cpp).
+  if (keys.size() > 1) metrics.add(util::Metric::kPrfEvals, keys.size() - 1);
 
   // Nested backward pass with candidate disambiguation: a mark is valid if
   // ANY candidate node for its anonymous ID produces a matching MAC (the
@@ -39,6 +44,7 @@ VerifyResult PnmScheme::verify(const net::Packet& p, const crypto::KeyStore& key
     if (m.id_field.size() == cfg_.anon_len) {
       Bytes input = nested_mac_input(p, j, m.id_field);
       for (NodeId candidate : table.candidates(m.id_field)) {
+        metrics.add(util::Metric::kMacChecks);
         if (crypto::verify_mac(keys.key_unchecked(candidate), input, m.mac)) {
           resolved = candidate;
           break;

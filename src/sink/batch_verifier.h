@@ -1,0 +1,82 @@
+// Thread-pool-backed batch verification (the sink's scalability engine).
+//
+// The sink is the choke point of the whole scheme: every suspicious packet
+// costs a per-report anonymous-ID table (one PRF per node) plus a nested
+// backward MAC pass. Packets are verified independently — nothing in
+// PnmScheme::verify or scoped_verify_pnm touches shared mutable state — so a
+// batch of delivered packets fans out across a util::ThreadPool
+// embarrassingly.
+//
+// Determinism contract: results come back indexed by input position, each
+// produced by the exact same per-packet code path the serial sink runs, so a
+// parallel batch is bit-identical to a serial loop regardless of worker
+// count or scheduling (asserted by tests/batch_verify_test.cpp). Worker
+// scheduling never consults an Rng, so seeded experiments stay reproducible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "crypto/keys.h"
+#include "crypto/prf_cache.h"
+#include "marking/scheme.h"
+#include "net/topology.h"
+#include "util/counters.h"
+#include "util/thread_pool.h"
+
+namespace pnm::sink {
+
+enum class BatchStrategy {
+  /// Per-packet exhaustive AnonIdTable — PnmScheme::verify semantics. Works
+  /// for every marking scheme.
+  kExhaustive,
+  /// §7 topology-scoped ring search (PNM only; requires a topology).
+  kScoped,
+};
+
+struct BatchVerifierConfig {
+  /// Worker threads; 0 = hardware concurrency, 1 = run inline on the caller
+  /// thread (the serial reference path).
+  std::size_t threads = 0;
+  BatchStrategy strategy = BatchStrategy::kExhaustive;
+  /// Memoize PRF probes across marks/packets (scoped strategy only; the
+  /// exhaustive path computes each (node, report) PRF exactly once already).
+  bool use_cache = true;
+  /// Packets per task; 0 picks a chunk size that gives each worker ~4 tasks
+  /// so stragglers even out.
+  std::size_t chunk_size = 0;
+};
+
+class BatchVerifier {
+ public:
+  /// `topo` is required for BatchStrategy::kScoped and ignored otherwise.
+  /// `counters` defaults to util::Counters::global() when null.
+  BatchVerifier(const marking::MarkingScheme& scheme, const crypto::KeyStore& keys,
+                BatchVerifierConfig cfg = {}, const net::Topology* topo = nullptr,
+                util::Counters* counters = nullptr);
+
+  /// Verify every packet; results[i] corresponds to packets[i]. Worker
+  /// exceptions propagate to the caller. Also records one batch-latency
+  /// sample and bumps kBatches / kPacketsVerified.
+  std::vector<marking::VerifyResult> verify_batch(
+      const std::vector<net::Packet>& packets);
+
+  /// The per-packet path verify_batch fans out (callable directly).
+  marking::VerifyResult verify_one(const net::Packet& p);
+
+  std::size_t thread_count() const { return threads_; }
+  crypto::PrfCache& cache() { return cache_; }
+  util::Counters& counters() { return *counters_; }
+
+ private:
+  const marking::MarkingScheme& scheme_;
+  const crypto::KeyStore& keys_;
+  BatchVerifierConfig cfg_;
+  const net::Topology* topo_;
+  util::Counters* counters_;
+  crypto::PrfCache cache_;
+  std::size_t threads_;
+  std::unique_ptr<util::ThreadPool> pool_;  // created lazily, only if threads_ > 1
+};
+
+}  // namespace pnm::sink

@@ -20,10 +20,16 @@ marking::VerifyResult scoped_verify_pnm(const net::Packet& p,
                                         const crypto::KeyStore& keys,
                                         const net::Topology& topo,
                                         const marking::SchemeConfig& cfg,
-                                        ScopedVerifyStats* stats) {
+                                        ScopedVerifyStats* stats,
+                                        crypto::PrfCache* cache,
+                                        util::Counters* counters) {
   marking::VerifyResult out;
   out.total_marks = p.marks.size();
+  util::Counters& metrics = counters ? *counters : util::Counters::global();
+  metrics.add(util::Metric::kPacketsVerified);
   if (p.marks.empty()) return out;
+
+  const std::uint64_t rkey = cache ? crypto::PrfCache::report_key(p.report) : 0;
 
   ScopedVerifyStats local;
   NodeId anchor = (p.delivered_by != kInvalidNode && p.delivered_by < topo.node_count())
@@ -48,10 +54,18 @@ marking::VerifyResult scoped_verify_pnm(const net::Packet& p,
           if (std::binary_search(tried.begin(), tried.end(), candidate)) continue;
           grew = true;
           ++local.prf_evaluations;
-          Bytes anon = crypto::anon_id(keys.key_unchecked(candidate), p.report, candidate,
-                                       cfg.anon_len);
+          Bytes anon;
+          if (cache) {
+            anon = cache->get_or_compute(rkey, candidate, keys.key_unchecked(candidate),
+                                         p.report, cfg.anon_len, &metrics);
+          } else {
+            metrics.add(util::Metric::kPrfEvals);
+            anon = crypto::anon_id(keys.key_unchecked(candidate), p.report, candidate,
+                                   cfg.anon_len);
+          }
           if (anon != m.id_field) continue;
           ++local.mac_checks;
+          metrics.add(util::Metric::kMacChecks);
           if (crypto::verify_mac(keys.key_unchecked(candidate), input, m.mac)) {
             resolved = candidate;
             break;

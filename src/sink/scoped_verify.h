@@ -15,13 +15,15 @@
 #pragma once
 
 #include "crypto/keys.h"
+#include "crypto/prf_cache.h"
 #include "marking/scheme.h"
 #include "net/topology.h"
+#include "util/counters.h"
 
 namespace pnm::sink {
 
 struct ScopedVerifyStats {
-  std::size_t prf_evaluations = 0;  ///< anonymous-ID hashes computed
+  std::size_t prf_evaluations = 0;  ///< candidate anonymous-ID probes
   std::size_t mac_checks = 0;       ///< candidate MAC verifications
   std::size_t ring_expansions = 0;  ///< times the search widened past 1 hop
 };
@@ -30,10 +32,17 @@ struct ScopedVerifyStats {
 /// the marking configuration in force. The search anchors on the packet's
 /// radio-layer previous hop (`delivered_by`); if that is unknown it anchors
 /// on the sink. Stats are accumulated into `stats` when non-null.
+///
+/// `cache` memoizes PRF probes across marks and packets (the result is
+/// unchanged — only recomputation is skipped); `counters` receives metric
+/// increments, defaulting to util::Counters::global() when null. Both the
+/// cache and the counters are safe to share across threads.
 marking::VerifyResult scoped_verify_pnm(const net::Packet& p,
                                         const crypto::KeyStore& keys,
                                         const net::Topology& topo,
                                         const marking::SchemeConfig& cfg,
-                                        ScopedVerifyStats* stats = nullptr);
+                                        ScopedVerifyStats* stats = nullptr,
+                                        crypto::PrfCache* cache = nullptr,
+                                        util::Counters* counters = nullptr);
 
 }  // namespace pnm::sink

@@ -1,0 +1,84 @@
+#include "util/counters.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pnm::util {
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kPrfEvals: return "prf_evals";
+    case Metric::kMacChecks: return "mac_checks";
+    case Metric::kCacheHits: return "cache_hits";
+    case Metric::kCacheMisses: return "cache_misses";
+    case Metric::kPacketsVerified: return "packets_verified";
+    case Metric::kBatches: return "batches";
+    case Metric::kMetricCount: break;
+  }
+  return "unknown";
+}
+
+void Counters::record_batch_latency_us(double us) {
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latencies_us_.push_back(us);
+}
+
+namespace {
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  double rank = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+}  // namespace
+
+LatencySummary Counters::latency_summary() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    sorted = latencies_us_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  LatencySummary s;
+  s.count = sorted.size();
+  if (!sorted.empty()) {
+    s.p50_us = percentile_sorted(sorted, 0.50);
+    s.p90_us = percentile_sorted(sorted, 0.90);
+    s.p99_us = percentile_sorted(sorted, 0.99);
+    s.max_us = sorted.back();
+  }
+  return s;
+}
+
+void Counters::reset() {
+  for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latencies_us_.clear();
+}
+
+std::string Counters::to_json() const {
+  std::string out = "{";
+  char buf[96];
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Metric::kMetricCount); ++i) {
+    Metric m = static_cast<Metric>(i);
+    std::snprintf(buf, sizeof(buf), "\"%s\":%llu,", metric_name(m),
+                  static_cast<unsigned long long>(get(m)));
+    out += buf;
+  }
+  LatencySummary s = latency_summary();
+  std::snprintf(buf, sizeof(buf),
+                "\"batch_latency_us\":{\"count\":%zu,\"p50\":%.1f,\"p90\":%.1f,"
+                "\"p99\":%.1f,\"max\":%.1f}}",
+                s.count, s.p50_us, s.p90_us, s.p99_us, s.max_us);
+  out += buf;
+  return out;
+}
+
+Counters& Counters::global() {
+  static Counters instance;
+  return instance;
+}
+
+}  // namespace pnm::util

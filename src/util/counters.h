@@ -1,0 +1,75 @@
+// Lightweight metrics layer for the sink's verification pipeline.
+//
+// Hot paths (PRF evaluations, MAC checks, cache probes) bump fixed-slot
+// relaxed atomics — safe to call from thread-pool workers with no locking.
+// Batch latencies go through a mutex-protected sample set so percentiles can
+// be reported. A process-wide instance (Counters::global()) is what the
+// serial verifiers use; the batch verifier can be pointed at a private
+// instance for isolated measurement.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <mutex>
+#include <vector>
+
+namespace pnm::util {
+
+enum class Metric : std::size_t {
+  kPrfEvals = 0,      ///< anonymous-ID PRF evaluations actually computed
+  kMacChecks,         ///< candidate MAC verifications
+  kCacheHits,         ///< PRF memo-cache hits (PRF not recomputed)
+  kCacheMisses,       ///< PRF memo-cache misses (fell through to compute)
+  kPacketsVerified,   ///< packets through any sink verification path
+  kBatches,           ///< verify_batch invocations
+  kMetricCount,
+};
+
+const char* metric_name(Metric m);
+
+/// Summary of the recorded batch latencies, microseconds.
+struct LatencySummary {
+  std::size_t count = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+class Counters {
+ public:
+  void add(Metric m, std::uint64_t delta = 1) {
+    slot(m).fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t get(Metric m) const { return slot(m).load(std::memory_order_relaxed); }
+
+  void record_batch_latency_us(double us);
+  LatencySummary latency_summary() const;
+
+  /// Zero every counter and drop recorded latencies.
+  void reset();
+
+  /// One-line JSON object: every counter plus the latency summary. Stable
+  /// key order so benches/CI can grep it.
+  std::string to_json() const;
+
+  /// Process-wide instance used by the serial verification paths.
+  static Counters& global();
+
+ private:
+  std::atomic<std::uint64_t>& slot(Metric m) {
+    return slots_[static_cast<std::size_t>(m)];
+  }
+  const std::atomic<std::uint64_t>& slot(Metric m) const {
+    return slots_[static_cast<std::size_t>(m)];
+  }
+
+  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(Metric::kMetricCount)>
+      slots_{};
+  mutable std::mutex latency_mu_;
+  std::vector<double> latencies_us_;
+};
+
+}  // namespace pnm::util

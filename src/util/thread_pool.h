@@ -1,0 +1,68 @@
+// Fixed-size worker pool with a futures-based submit API.
+//
+// The sink is the one place in this codebase where real concurrency pays:
+// delivered packets are verified independently, so a batch fans out across
+// workers (sink/batch_verifier.h). The pool is deliberately minimal — a
+// locked deque and a condition variable — because verification tasks are
+// milliseconds each and queue contention is negligible at that granularity.
+// Everything simulator-side stays single-threaded and deterministic; the
+// pool never touches an Rng.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace pnm::util {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads; 0 means std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t workers = 0);
+
+  /// Drains nothing: pending tasks are still executed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Tasks queued but not yet picked up by a worker.
+  std::size_t pending() const;
+
+  /// Enqueue a nullary callable; the returned future yields its result and
+  /// rethrows any exception it raised. Throws if the pool is shut down.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) throw std::runtime_error("ThreadPool::submit after shutdown");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace pnm::util

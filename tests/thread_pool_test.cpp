@@ -1,0 +1,156 @@
+// util::ThreadPool tests: result ordering via futures, exception propagation,
+// zero-task and oversubscribed cases, shutdown semantics — plus the
+// util::Counters metrics layer it feeds.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "util/counters.h"
+#include "util/thread_pool.h"
+
+namespace pnm::util {
+namespace {
+
+TEST(ThreadPool, ZeroTasksConstructAndDestruct) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.worker_count(), 4u);
+  // Destructor joins idle workers without deadlock.
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;  // workers = 0 -> hardware_concurrency, at least 1
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool pool(2);
+  auto a = pool.submit([] { return 7; });
+  auto b = pool.submit([] { return std::string("hi"); });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "hi");
+}
+
+TEST(ThreadPool, ResultsKeepSubmissionOrder) {
+  // Futures tie each result to its submission slot, so gathering in order is
+  // deterministic no matter which worker ran what.
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(futs[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, OversubscribedRunsEveryTaskExactlyOnce) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i) {
+    futs.push_back(pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 1; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, PendingTasksRunBeforeShutdown) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    // Destructor must drain the queue, not drop it.
+  }
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ThreadPool, TasksActuallyRunOffCallerThread) {
+  ThreadPool pool(2);
+  std::set<std::thread::id> ids;
+  std::mutex mu;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 16; ++i) {
+    futs.push_back(pool.submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u);
+}
+
+// ------------------------------------------------------------------ counters
+
+TEST(Counters, AddGetReset) {
+  Counters c;
+  c.add(Metric::kPrfEvals, 5);
+  c.add(Metric::kPrfEvals);
+  c.add(Metric::kMacChecks, 2);
+  EXPECT_EQ(c.get(Metric::kPrfEvals), 6u);
+  EXPECT_EQ(c.get(Metric::kMacChecks), 2u);
+  EXPECT_EQ(c.get(Metric::kCacheHits), 0u);
+  c.reset();
+  EXPECT_EQ(c.get(Metric::kPrfEvals), 0u);
+}
+
+TEST(Counters, ConcurrentAddsAreLossless) {
+  Counters c;
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futs;
+  for (int t = 0; t < 8; ++t) {
+    futs.push_back(pool.submit([&c] {
+      for (int i = 0; i < 1000; ++i) c.add(Metric::kPrfEvals);
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(c.get(Metric::kPrfEvals), 8000u);
+}
+
+TEST(Counters, LatencyPercentiles) {
+  Counters c;
+  for (int i = 1; i <= 100; ++i) c.record_batch_latency_us(static_cast<double>(i));
+  LatencySummary s = c.latency_summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.p50_us, 50.5, 0.6);
+  EXPECT_NEAR(s.p90_us, 90.1, 1.0);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+}
+
+TEST(Counters, EmptyLatencySummaryIsZero) {
+  Counters c;
+  LatencySummary s = c.latency_summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.max_us, 0.0);
+}
+
+TEST(Counters, JsonContainsEveryMetric) {
+  Counters c;
+  c.add(Metric::kCacheHits, 3);
+  std::string json = c.to_json();
+  EXPECT_NE(json.find("\"prf_evals\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_latency_us\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace pnm::util

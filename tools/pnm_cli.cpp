@@ -15,11 +15,18 @@
 //   pnm matrix     [--packets P] [--forwarders N] [--seed X]
 //       The full scheme-vs-attack security matrix (CAUGHT/MISLED/...).
 //
+//   pnm verify     [--packets P] [--forwarders N] [--threads T] [--scoped 1]
+//                  [--marks M] [--seed X]
+//       Sink batch-verification throughput: generate P marked packets and
+//       run them through the batch engine serially and with T threads;
+//       prints rates, speedup and the verification counters as JSON.
+//
 //   pnm list
 //       Available schemes and attacks.
 //
 // `pnm experiment --render text|dot` additionally dumps the reconstructed
 // order graph.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,7 +35,9 @@
 
 #include "analysis/models.h"
 #include "core/campaign.h"
+#include "sink/batch_verifier.h"
 #include "sink/route_render.h"
+#include "util/counters.h"
 #include "util/table.h"
 
 namespace {
@@ -222,6 +231,70 @@ int cmd_matrix(const Args& args) {
   return 0;
 }
 
+int cmd_verify(const Args& args) {
+  std::size_t packets = args.num("packets", 256);
+  std::size_t forwarders = args.num("forwarders", 20);
+  std::size_t threads = args.num("threads", 0);
+  bool scoped = args.num("scoped", 0) != 0;
+  double marks = args.real("marks", 3.0);
+  pnm::Rng rng(args.num("seed", 1));
+
+  pnm::net::Topology topo = pnm::net::Topology::chain(forwarders);
+  pnm::crypto::KeyStore keys(pnm::Bytes{0xaa, 0xbb, 0xcc}, topo.node_count());
+  pnm::marking::SchemeConfig cfg;
+  cfg.mark_probability = std::min(1.0, marks / static_cast<double>(forwarders));
+  auto scheme = pnm::marking::make_scheme(pnm::marking::SchemeKind::kPnm, cfg);
+
+  std::vector<pnm::net::Packet> batch;
+  batch.reserve(packets);
+  for (std::size_t n = 0; n < packets; ++n) {
+    pnm::net::Packet p;
+    p.report = pnm::net::Report{static_cast<std::uint32_t>(n), 1, 1, n}.encode();
+    for (std::size_t h = forwarders; h >= 1; --h) {
+      auto v = static_cast<pnm::NodeId>(h);
+      scheme->mark(p, v, keys.key_unchecked(v), rng);
+    }
+    p.delivered_by = 1;
+    batch.push_back(std::move(p));
+  }
+
+  pnm::sink::BatchVerifierConfig bcfg;
+  bcfg.strategy = scoped ? pnm::sink::BatchStrategy::kScoped
+                         : pnm::sink::BatchStrategy::kExhaustive;
+  auto run = [&](std::size_t nthreads) {
+    bcfg.threads = nthreads;
+    pnm::sink::BatchVerifier engine(*scheme, keys, bcfg, scoped ? &topo : nullptr);
+    auto t0 = std::chrono::steady_clock::now();
+    auto results = engine.verify_batch(batch);
+    auto t1 = std::chrono::steady_clock::now();
+    std::size_t verified = 0;
+    for (const auto& r : results) verified += r.chain.size();
+    return std::pair<double, std::size_t>(
+        std::chrono::duration<double>(t1 - t0).count(), verified);
+  };
+
+  auto [serial_s, serial_marks] = run(1);
+  auto [par_s, par_marks] = run(threads);
+  if (serial_marks != par_marks) {
+    std::fprintf(stderr, "verify: parallel/serial mark-count mismatch\n");
+    return 1;
+  }
+
+  Table t({"path", "threads", "elapsed (ms)", "pkts/s"});
+  t.set_title("batch verification, " + Table::num(packets) + " packets, " +
+              Table::num(forwarders) + " forwarders, " +
+              std::string(scoped ? "scoped" : "exhaustive"));
+  double n_pkts = static_cast<double>(packets);
+  t.add_row({"serial", "1", Table::num(serial_s * 1000.0, 1),
+             Table::num(n_pkts / serial_s, 0)});
+  t.add_row({"parallel", threads ? Table::num(threads) : "auto",
+             Table::num(par_s * 1000.0, 1), Table::num(n_pkts / par_s, 0)});
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("speedup: %.2fx, verified marks: %zu\n", serial_s / par_s, serial_marks);
+  std::printf("counters: %s\n", pnm::util::Counters::global().to_json().c_str());
+  return 0;
+}
+
 int cmd_model(const Args& args) {
   std::size_t n = args.num("forwarders", 20);
   double marks = args.real("marks", 3.0);
@@ -249,9 +322,10 @@ int cmd_model(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <experiment|campaign|matrix|model|list> [--flag value ...]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s <experiment|campaign|matrix|model|verify|list> [--flag value ...]\n",
+        argv[0]);
     return 2;
   }
   std::string cmd = argv[1];
@@ -261,6 +335,7 @@ int main(int argc, char** argv) {
   if (cmd == "campaign") return cmd_campaign(args);
   if (cmd == "matrix") return cmd_matrix(args);
   if (cmd == "model") return cmd_model(args);
+  if (cmd == "verify") return cmd_verify(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

@@ -1,0 +1,173 @@
+// Ingest-pipeline throughput: records-per-second from a trace stream through
+// the bounded queue and BatchVerifier into the traceback fold, swept over
+// verifier thread counts — the number the ROADMAP's streaming-ingest story
+// lives or dies on (acceptance: ≥100k records/s on CI hardware).
+//
+//   BM_TraceRead       — raw reader rate: frame + CRC + record decode only;
+//                        the format-overhead ceiling.
+//   BM_TraceDecode     — reader + net::decode_packet: the producer half.
+//   BM_ReplayPipeline  — the full lane (decode → queue → verify → fold) on a
+//                        PNM chain workload, thread sweep.
+//   BM_ReplayPipelineNested — same lane, deterministic nested scheme: MAC
+//                        checks only, no anon-ID table; isolates pipeline
+//                        overhead from PNM's verification cost.
+//
+// The trace is built once in memory (a recorded campaign would do equally;
+// the bytes are identical), replayed from a fresh istringstream per
+// iteration. Counters are dumped as one JSON line at exit, like
+// sink_throughput.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "crypto/keys.h"
+#include "ingest/pipeline.h"
+#include "marking/scheme.h"
+#include "net/report.h"
+#include "net/topology.h"
+#include "net/wire.h"
+#include "sink/batch_verifier.h"
+#include "sink/traceback.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "util/counters.h"
+#include "util/rng.h"
+
+namespace {
+
+pnm::Bytes master() { return pnm::Bytes{0xaa, 0xbb, 0xcc}; }
+
+// One in-memory trace per (scheme, hops, records) shape: distinct-report
+// packets marked along a chain, the stream a recorded injection flood yields.
+std::string build_trace(const pnm::marking::MarkingScheme& scheme,
+                        const pnm::crypto::KeyStore& keys, std::size_t hops,
+                        std::size_t records) {
+  pnm::Rng rng(4242);
+  std::ostringstream out;
+  pnm::trace::TraceMeta meta;
+  meta.set_u64(pnm::trace::kMetaSeed, 1);
+  meta.set_u64(pnm::trace::kMetaForwarders, hops);
+  pnm::trace::TraceWriter writer(out, meta);
+  for (std::size_t n = 0; n < records; ++n) {
+    pnm::net::Packet p;
+    p.report = pnm::net::Report{static_cast<std::uint32_t>(n), 3, 3, n}.encode();
+    for (std::size_t h = hops; h >= 1; --h) {
+      auto v = static_cast<pnm::NodeId>(h);
+      scheme.mark(p, v, keys.key_unchecked(v), rng);
+    }
+    p.delivered_by = 1;
+    writer.append(p, static_cast<double>(n) * 0.001);
+  }
+  return out.str();
+}
+
+void BM_TraceRead(benchmark::State& state) {
+  std::size_t hops = 10, records = 4096;
+  pnm::crypto::KeyStore keys(master(), hops + 2);
+  pnm::marking::SchemeConfig cfg;
+  cfg.mark_probability = 3.0 / static_cast<double>(hops);
+  auto scheme = pnm::marking::make_scheme(pnm::marking::SchemeKind::kPnm, cfg);
+  std::string blob = build_trace(*scheme, keys, hops, records);
+
+  for (auto _ : state) {
+    std::istringstream in(blob);
+    pnm::trace::TraceReader reader(in);
+    std::size_t n = 0;
+    while (auto outcome = reader.next())
+      if (outcome->status == pnm::trace::ReadStatus::kRecord) ++n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * records));
+  state.counters["records_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * records), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceRead);
+
+void BM_TraceDecode(benchmark::State& state) {
+  std::size_t hops = 10, records = 4096;
+  pnm::crypto::KeyStore keys(master(), hops + 2);
+  pnm::marking::SchemeConfig cfg;
+  cfg.mark_probability = 3.0 / static_cast<double>(hops);
+  auto scheme = pnm::marking::make_scheme(pnm::marking::SchemeKind::kPnm, cfg);
+  std::string blob = build_trace(*scheme, keys, hops, records);
+
+  for (auto _ : state) {
+    std::istringstream in(blob);
+    pnm::trace::TraceReader reader(in);
+    std::size_t marks = 0;
+    while (auto outcome = reader.next()) {
+      if (outcome->status != pnm::trace::ReadStatus::kRecord) continue;
+      auto p = pnm::net::decode_packet(outcome->record.wire);
+      if (p) marks += p->marks.size();
+    }
+    benchmark::DoNotOptimize(marks);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * records));
+  state.counters["records_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * records), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceDecode);
+
+void replay_pipeline_bench(benchmark::State& state, pnm::marking::SchemeKind kind,
+                           pnm::sink::BatchStrategy strategy) {
+  std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::size_t hops = 10, records = 4096;
+  pnm::net::Topology topo = pnm::net::Topology::chain(hops);
+  pnm::crypto::KeyStore keys(master(), topo.node_count());
+  pnm::marking::SchemeConfig cfg;
+  cfg.mark_probability = 3.0 / static_cast<double>(hops);
+  auto scheme = pnm::marking::make_scheme(kind, cfg);
+  std::string blob = build_trace(*scheme, keys, hops, records);
+
+  std::size_t replayed = 0;
+  for (auto _ : state) {
+    std::istringstream in(blob);
+    pnm::trace::TraceReader reader(in);
+    pnm::sink::BatchVerifierConfig bcfg;
+    bcfg.threads = threads;
+    bcfg.strategy = strategy;
+    pnm::sink::BatchVerifier verifier(*scheme, keys, bcfg, &topo);
+    pnm::sink::TracebackEngine engine(*scheme, keys, topo);
+    pnm::ingest::Pipeline pipeline(verifier, &engine);
+    auto stats = pipeline.run_from_trace(reader);
+    replayed += stats.records;
+    benchmark::DoNotOptimize(stats.records);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(replayed));
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["records_per_s"] =
+      benchmark::Counter(static_cast<double>(replayed), benchmark::Counter::kIsRate);
+}
+
+void BM_ReplayPipeline(benchmark::State& state) {
+  replay_pipeline_bench(state, pnm::marking::SchemeKind::kPnm,
+                        pnm::sink::BatchStrategy::kExhaustive);
+}
+BENCHMARK(BM_ReplayPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// The §7 production path: topology-scoped ring search, O(degree) per mark.
+// This is the configuration the ≥100k records/s acceptance bar targets
+// (`pnm replay --scoped 1`); exhaustive above is the all-schemes fallback.
+void BM_ReplayPipelineScoped(benchmark::State& state) {
+  replay_pipeline_bench(state, pnm::marking::SchemeKind::kPnm,
+                        pnm::sink::BatchStrategy::kScoped);
+}
+BENCHMARK(BM_ReplayPipelineScoped)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_ReplayPipelineNested(benchmark::State& state) {
+  replay_pipeline_bench(state, pnm::marking::SchemeKind::kNested,
+                        pnm::sink::BatchStrategy::kExhaustive);
+}
+BENCHMARK(BM_ReplayPipelineNested)->Arg(1)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf("counters: %s\n", pnm::util::Counters::global().to_json().c_str());
+  return 0;
+}

@@ -2,23 +2,20 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <memory>
 
 #include "core/protocol.h"
 #include "crypto/keys.h"
+#include "crypto/sha256.h"
 #include "net/simulator.h"
 #include "sink/catcher.h"
+#include "trace/writer.h"
 #include "util/log.h"
 
 namespace pnm::core {
 
 namespace {
-
-Bytes master_secret_from_seed(std::uint64_t seed) {
-  ByteWriter w;
-  w.raw(ByteView(reinterpret_cast<const std::uint8_t*>("pnm-master"), 10));
-  w.u64(seed);
-  return std::move(w).take();
-}
 
 bool any_mole_in(const std::vector<NodeId>& suspects, const std::vector<NodeId>& moles) {
   return std::any_of(suspects.begin(), suspects.end(), [&](NodeId s) {
@@ -26,7 +23,33 @@ bool any_mole_in(const std::vector<NodeId>& suspects, const std::vector<NodeId>&
   });
 }
 
+/// Campaign parameters as trace-header metadata, plus a digest binding them:
+/// a replay refuses nothing (metadata is advisory) but can detect drift.
+trace::TraceMeta campaign_trace_meta(const ChainExperimentConfig& cfg) {
+  trace::TraceMeta meta;
+  meta.set_u64(trace::kMetaSeed, cfg.seed);
+  meta.set_u64(trace::kMetaForwarders, cfg.forwarders);
+  meta.set(trace::kMetaScheme, std::string(marking::scheme_kind_name(cfg.protocol.scheme)));
+  meta.set(trace::kMetaAttack, std::string(attack::attack_kind_name(cfg.attack)));
+  char prob[32];
+  std::snprintf(prob, sizeof(prob), "%.17g",
+                cfg.protocol.probability_for_path(cfg.forwarders));
+  meta.set(trace::kMetaMarkProbability, prob);
+  meta.set_u64(trace::kMetaMacLen, cfg.protocol.mac_len);
+  meta.set_u64(trace::kMetaAnonLen, cfg.protocol.anon_len);
+  crypto::Sha256Digest d = crypto::Sha256::hash(meta.encode());
+  meta.set(trace::kMetaConfigDigest, to_hex(ByteView(d.data(), d.size())));
+  return meta;
+}
+
 }  // namespace
+
+Bytes campaign_master_secret(std::uint64_t seed) {
+  ByteWriter w;
+  w.raw(ByteView(reinterpret_cast<const std::uint8_t*>("pnm-master"), 10));
+  w.u64(seed);
+  return std::move(w).take();
+}
 
 ChainExperimentResult run_chain_experiment(const ChainExperimentConfig& cfg,
                                            const PacketObserver& observer) {
@@ -35,7 +58,7 @@ ChainExperimentResult run_chain_experiment(const ChainExperimentConfig& cfg,
   net::RoutingTable routing(topo, net::RoutingStrategy::kTree);
   NodeId source = static_cast<NodeId>(cfg.forwarders + 1);
 
-  crypto::KeyStore keys(master_secret_from_seed(cfg.seed), topo.node_count());
+  crypto::KeyStore keys(campaign_master_secret(cfg.seed), topo.node_count());
   auto scheme = marking::make_scheme(cfg.protocol.scheme,
                                      cfg.protocol.scheme_config(cfg.forwarders));
 
@@ -56,6 +79,14 @@ ChainExperimentResult run_chain_experiment(const ChainExperimentConfig& cfg,
     engine.ingest(p);
     if (observer) observer(engine.packets_ingested(), engine);
   });
+
+  std::unique_ptr<trace::TraceWriter> recorder;
+  if (!cfg.record_path.empty()) {
+    recorder =
+        std::make_unique<trace::TraceWriter>(cfg.record_path, campaign_trace_meta(cfg));
+    sim.set_delivery_tap(
+        [&recorder](const net::Packet& p, double t) { recorder->append(p, t); });
+  }
 
   // Paced injection: one bogus packet every injection_interval_s.
   std::function<void()> pump = [&]() {
@@ -83,6 +114,10 @@ ChainExperimentResult run_chain_experiment(const ChainExperimentConfig& cfg,
       out.final_analysis.identified && out.final_analysis.stop_node == out.v1;
   out.sim_duration_s = sim.now();
   out.total_energy_uj = sim.energy().total_energy_uj();
+  if (recorder) {
+    recorder->flush();
+    out.records_recorded = recorder->records_written();
+  }
   return out;
 }
 
@@ -93,7 +128,7 @@ CatchCampaignResult run_catch_campaign(const CatchCampaignConfig& cfg) {
                                                  cfg.grid_range);
   NodeId source = static_cast<NodeId>(topo.node_count() - 1);
 
-  crypto::KeyStore keys(master_secret_from_seed(cfg.seed), topo.node_count());
+  crypto::KeyStore keys(campaign_master_secret(cfg.seed), topo.node_count());
 
   CatchCampaignResult result;
   std::vector<bool> isolated(topo.node_count(), false);

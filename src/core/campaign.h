@@ -13,6 +13,7 @@
 #include <functional>
 #include <optional>
 #include <set>
+#include <string>
 
 #include "attack/colluding.h"
 #include "core/config.h"
@@ -31,6 +32,11 @@ struct ChainExperimentConfig {
   double injection_interval_s = 1.0 / 30.0;
   double link_loss = 0.0;
   std::uint64_t seed = 1;
+  /// When non-empty, every delivered packet is recorded to this .pnmtrace
+  /// file (wire bytes + delivery time + previous hop), with the campaign
+  /// parameters in the header so `ingest::replay_trace` can rebuild the
+  /// sink and reproduce the identical accusation set offline.
+  std::string record_path;
 };
 
 struct ChainExperimentResult {
@@ -50,7 +56,12 @@ struct ChainExperimentResult {
   std::vector<NodeId> moles;
   double sim_duration_s = 0.0;
   double total_energy_uj = 0.0;
+  std::size_t records_recorded = 0;  ///< trace records written (record_path set)
 };
+
+/// Master secret every campaign derives its KeyStore from; exposed so a
+/// trace replay with the recorded seed rebuilds the identical keys.
+Bytes campaign_master_secret(std::uint64_t seed);
 
 /// Called after each delivered packet with the engine state; lets Fig. 5
 /// sample the mark-collection curve without rerunning.

@@ -6,14 +6,28 @@
 
 namespace pnm::crypto {
 
-Bytes anon_id(ByteView node_key, ByteView original_message, NodeId real_id,
-              std::size_t anon_len) {
-  assert(anon_len >= 1 && anon_len <= kSha256DigestSize);
+namespace {
+
+Bytes anon_id_input(ByteView original_message, NodeId real_id) {
   ByteWriter w;
   w.u8(0xA1);  // domain separation: anonymous-ID PRF, never a marking MAC
   w.blob16(original_message);
   w.u16(real_id);
-  return truncated_mac(node_key, w.bytes(), anon_len);
+  return w.bytes();
+}
+
+}  // namespace
+
+Bytes anon_id(ByteView node_key, ByteView original_message, NodeId real_id,
+              std::size_t anon_len) {
+  assert(anon_len >= 1 && anon_len <= kSha256DigestSize);
+  return truncated_mac(node_key, anon_id_input(original_message, real_id), anon_len);
+}
+
+Bytes anon_id(const HmacKey& node_key, ByteView original_message, NodeId real_id,
+              std::size_t anon_len) {
+  assert(anon_len >= 1 && anon_len <= kSha256DigestSize);
+  return node_key.truncated(anon_id_input(original_message, real_id), anon_len);
 }
 
 }  // namespace pnm::crypto

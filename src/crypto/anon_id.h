@@ -14,6 +14,7 @@
 
 #include <cstddef>
 
+#include "crypto/hmac.h"
 #include "util/bytes.h"
 #include "util/ids.h"
 
@@ -24,6 +25,11 @@ inline constexpr std::size_t kDefaultAnonIdSize = 2;
 /// Compute the anonymous ID i' = H'_{k}(M | i), truncated to anon_len bytes.
 /// H' is domain-separated from the marking MAC by a distinct prefix tag.
 Bytes anon_id(ByteView node_key, ByteView original_message, NodeId real_id,
+              std::size_t anon_len = kDefaultAnonIdSize);
+
+/// Same PRF through a precomputed key schedule — the sink-side hot path
+/// (table builds and ring probes re-key per candidate otherwise).
+Bytes anon_id(const HmacKey& node_key, ByteView original_message, NodeId real_id,
               std::size_t anon_len = kDefaultAnonIdSize);
 
 }  // namespace pnm::crypto

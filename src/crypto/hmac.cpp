@@ -5,7 +5,7 @@
 
 namespace pnm::crypto {
 
-Sha256Digest hmac_sha256(ByteView key, ByteView data) {
+HmacKey::HmacKey(ByteView key) {
   std::uint8_t block[64];
   std::memset(block, 0, sizeof(block));
   if (key.size() > 64) {
@@ -15,22 +15,36 @@ Sha256Digest hmac_sha256(ByteView key, ByteView data) {
     std::memcpy(block, key.data(), key.size());
   }
 
-  std::uint8_t ipad[64], opad[64];
-  for (int i = 0; i < 64; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
-  }
+  std::uint8_t pad[64];
+  for (int i = 0; i < 64; ++i) pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+  inner_.update(ByteView(pad, 64));
+  for (int i = 0; i < 64; ++i) pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  outer_.update(ByteView(pad, 64));
+}
 
-  Sha256 inner;
-  inner.update(ByteView(ipad, 64));
+Sha256Digest HmacKey::mac(ByteView data) const {
+  Sha256 inner = inner_;
   inner.update(data);
   Sha256Digest inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(ByteView(opad, 64));
+  Sha256 outer = outer_;
   outer.update(ByteView(inner_digest.data(), inner_digest.size()));
   return outer.finish();
 }
+
+Bytes HmacKey::truncated(ByteView data, std::size_t mac_len) const {
+  assert(mac_len >= 1 && mac_len <= kSha256DigestSize);
+  Sha256Digest full = mac(data);
+  return Bytes(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(mac_len));
+}
+
+bool HmacKey::verify(ByteView data, ByteView mac_bytes) const {
+  if (mac_bytes.empty() || mac_bytes.size() > kSha256DigestSize) return false;
+  Sha256Digest full = mac(data);
+  return constant_time_equal(ByteView(full.data(), mac_bytes.size()), mac_bytes);
+}
+
+Sha256Digest hmac_sha256(ByteView key, ByteView data) { return HmacKey(key).mac(data); }
 
 Bytes truncated_mac(ByteView key, ByteView data, std::size_t mac_len) {
   assert(mac_len >= 1 && mac_len <= kSha256DigestSize);

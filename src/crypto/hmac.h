@@ -12,6 +12,27 @@ namespace pnm::crypto {
 /// Full 32-byte HMAC-SHA256 of `data` under `key`.
 Sha256Digest hmac_sha256(ByteView key, ByteView data);
 
+/// Precomputed HMAC key schedule (RFC 2104 §4 note): the SHA-256 midstates
+/// after absorbing the ipad/opad blocks are fixed per key, so a long-lived
+/// key pays the two pad compressions once instead of on every MAC. For the
+/// short inputs marks carry this halves HMAC cost — the sink's key table
+/// holds one of these per node (crypto::KeyStore::hmac_key).
+class HmacKey {
+ public:
+  HmacKey() = default;
+  explicit HmacKey(ByteView key);
+
+  /// Full HMAC-SHA256 of `data`; identical output to hmac_sha256(key, data).
+  Sha256Digest mac(ByteView data) const;
+  /// Leftmost `mac_len` bytes (RFC 2104 §5); mac_len in [1, 32].
+  Bytes truncated(ByteView data, std::size_t mac_len) const;
+  /// Verify a truncated MAC in constant time.
+  bool verify(ByteView data, ByteView mac) const;
+
+ private:
+  Sha256 inner_, outer_;  // contexts with the ipad/opad block already absorbed
+};
+
 /// HMAC-SHA256 truncated to `mac_len` bytes (RFC 2104 §5 leftmost bytes).
 /// mac_len must be in [1, 32].
 Bytes truncated_mac(ByteView key, ByteView data, std::size_t mac_len);

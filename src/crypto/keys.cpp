@@ -13,6 +13,8 @@ KeyStore::KeyStore(ByteView master_secret, std::size_t node_count) {
     Sha256Digest d = hmac_sha256(master_secret, w.bytes());
     keys_.emplace_back(d.begin(), d.begin() + kKeySize);
   }
+  hmac_keys_.reserve(node_count);
+  for (const Bytes& k : keys_) hmac_keys_.emplace_back(ByteView(k));
 }
 
 std::optional<Bytes> KeyStore::key(NodeId id) const {

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <optional>
 
+#include "crypto/hmac.h"
 #include "util/bytes.h"
 #include "util/ids.h"
 
@@ -29,10 +30,16 @@ class KeyStore {
   /// Unchecked access for hot verification paths; `id` must be < size().
   ByteView key_unchecked(NodeId id) const;
 
+  /// Precomputed HMAC schedule of node `id`'s key (pad midstates absorbed
+  /// once at table build). The sink's verification paths MAC through this
+  /// instead of rerunning the key setup per packet; `id` must be < size().
+  const HmacKey& hmac_key(NodeId id) const { return hmac_keys_[id]; }
+
   std::size_t size() const { return keys_.size(); }
 
  private:
   std::vector<Bytes> keys_;
+  std::vector<HmacKey> hmac_keys_;
 };
 
 }  // namespace pnm::crypto

@@ -67,6 +67,34 @@ Bytes PrfCache::get_or_compute(std::uint64_t report_key, NodeId node, ByteView n
   return anon;
 }
 
+Bytes PrfCache::get_or_compute(std::uint64_t report_key, NodeId node,
+                               const HmacKey& node_key, ByteView report,
+                               std::size_t anon_len, util::Counters* counters) {
+  std::uint64_t key = entry_key(report_key, node, anon_len);
+  Shard& shard = *shards_[key % shards_.size()];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      if (counters) counters->add(util::Metric::kCacheHits);
+      return it->second;
+    }
+  }
+  // Compute outside the shard lock: the PRF is the expensive part, and two
+  // threads racing on the same key just write the same value twice.
+  if (counters) {
+    counters->add(util::Metric::kCacheMisses);
+    counters->add(util::Metric::kPrfEvals);
+  }
+  Bytes anon = anon_id(node_key, report, node, anon_len);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() >= max_entries_per_shard_) shard.map.clear();
+    shard.map.emplace(key, anon);
+  }
+  return anon;
+}
+
 std::size_t PrfCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "crypto/hmac.h"
 #include "util/bytes.h"
 #include "util/counters.h"
 #include "util/ids.h"
@@ -34,6 +35,13 @@ class PrfCache {
   /// a hit bumps kCacheHits (no PRF computed); a miss bumps kCacheMisses and
   /// kPrfEvals.
   Bytes get_or_compute(std::uint64_t report_key, NodeId node, ByteView node_key,
+                       ByteView report, std::size_t anon_len,
+                       util::Counters* counters = nullptr);
+
+  /// Same memoization through a precomputed key schedule (the scoped ring
+  /// search probes many candidates per mark; each miss saves the two HMAC
+  /// pad compressions).
+  Bytes get_or_compute(std::uint64_t report_key, NodeId node, const HmacKey& node_key,
                        ByteView report, std::size_t anon_len,
                        util::Counters* counters = nullptr);
 

@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PNM_SHA256_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace pnm::crypto {
 
 namespace {
@@ -20,6 +25,65 @@ constexpr std::uint32_t kRoundConstants[64] = {
 
 inline std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+#ifdef PNM_SHA256_X86_DISPATCH
+// SHA-NI compression (one block). Same schedule recurrence as the portable
+// loop below, expressed with the x86 SHA extension: state lives in two
+// lanes as ABEF/CDGH, the message schedule advances four w's at a time via
+// sha256msg1/msg2, and each sha256rnds2 retires two rounds. Round constants
+// come straight from kRoundConstants, four per group. Guarded by a runtime
+// CPUID check; the portable path stays the reference implementation.
+__attribute__((target("sha,sse4.1"))) void process_block_shani(std::uint32_t* state,
+                                                               const std::uint8_t* block) {
+  const __m128i kByteSwap =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);     // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);          // CDGH
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+
+  __m128i w[4];
+  for (int i = 0; i < 4; ++i) {
+    w[i] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16 * i));
+    w[i] = _mm_shuffle_epi8(w[i], kByteSwap);
+  }
+
+  for (int i = 0; i < 16; ++i) {
+    const __m128i k =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kRoundConstants[4 * i]));
+    __m128i msg = _mm_add_epi32(w[i & 3], k);
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    if (i < 12) {  // extend the schedule: w[i+4] from w[i..i+3]
+      __m128i carry = _mm_alignr_epi8(w[(i + 3) & 3], w[(i + 2) & 3], 4);
+      __m128i x = _mm_sha256msg1_epu32(w[i & 3], w[(i + 1) & 3]);
+      x = _mm_add_epi32(x, carry);
+      w[i & 3] = _mm_sha256msg2_epu32(x, w[(i + 3) & 3]);
+    }
+  }
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  tmp = _mm_shuffle_epi32(state0, 0x1B);     // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);  // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);      // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);         // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+bool cpu_has_shani() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+}
+#endif  // PNM_SHA256_X86_DISPATCH
+
 }  // namespace
 
 void Sha256::reset() {
@@ -31,6 +95,13 @@ void Sha256::reset() {
 }
 
 void Sha256::process_block(const std::uint8_t* block) {
+#ifdef PNM_SHA256_X86_DISPATCH
+  static const bool use_shani = cpu_has_shani();
+  if (use_shani) {
+    process_block_shani(state_, block);
+    return;
+  }
+#endif
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |

@@ -1,0 +1,121 @@
+#include "ingest/pipeline.h"
+
+#include <chrono>
+#include <thread>
+
+#include "net/wire.h"
+
+namespace pnm::ingest {
+
+Pipeline::Pipeline(sink::BatchVerifier& verifier, sink::TracebackEngine* traceback,
+                   PipelineConfig cfg, util::Counters* counters)
+    : verifier_(verifier),
+      traceback_(traceback),
+      cfg_(cfg),
+      counters_(counters ? counters : &verifier.counters()),
+      queue_(cfg.queue_capacity) {
+  if (cfg_.batch_size == 0) cfg_.batch_size = 64;
+}
+
+bool Pipeline::push(net::Packet&& p, double time_s) {
+  return queue_.push(Item{std::move(p), time_s});
+}
+
+void Pipeline::close() { queue_.close(); }
+
+void Pipeline::fold_batch(std::vector<Item>& items) {
+  std::vector<net::Packet> packets;
+  packets.reserve(items.size());
+  for (Item& it : items) packets.push_back(std::move(it.packet));
+
+  std::vector<marking::VerifyResult> verdicts = verifier_.verify_batch(packets);
+
+  // Arrival order is batch order; fold and fingerprint in that order so the
+  // downstream state is independent of verifier thread count.
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const net::Packet& p = packets[i];
+    const marking::VerifyResult& vr = verdicts[i];
+    if (traceback_) traceback_->fold(p, vr);
+
+    ByteWriter w;
+    w.blob16(net::encode_packet(p));
+    w.u16(p.delivered_by);
+    w.u16(static_cast<std::uint16_t>(vr.chain.size()));
+    for (const marking::VerifiedMark& m : vr.chain) {
+      w.u16(m.node);
+      w.u32(static_cast<std::uint32_t>(m.mark_index));
+    }
+    w.u32(static_cast<std::uint32_t>(vr.total_marks));
+    w.u32(static_cast<std::uint32_t>(vr.invalid_marks));
+    w.u8(vr.truncated_by_invalid ? 1 : 0);
+    digest_.update(w.bytes());
+  }
+  stats_.records += packets.size();
+  counters_->add(util::Metric::kIngestRecords, packets.size());
+}
+
+void Pipeline::run() {
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<Item> batch;
+  batch.reserve(cfg_.batch_size);
+  while (queue_.pop_up_to(cfg_.batch_size, batch)) {
+    fold_batch(batch);
+    batch.clear();
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  stats_.elapsed_s += std::chrono::duration<double>(t1 - t0).count();
+  stats_.records_per_s =
+      stats_.elapsed_s > 0.0 ? static_cast<double>(stats_.records) / stats_.elapsed_s
+                             : 0.0;
+  stats_.queue_high_water = queue_.high_water();
+  counters_->update_max(util::Metric::kIngestQueueHighWater, queue_.high_water());
+}
+
+PipelineStats Pipeline::run_from_trace(trace::TraceReader& reader) {
+  std::thread producer([&] {
+    while (auto outcome = reader.next()) {
+      switch (outcome->status) {
+        case trace::ReadStatus::kRecord: {
+          counters_->add(util::Metric::kTraceRecordsRead);
+          auto packet = net::decode_packet(outcome->record.wire);
+          if (!packet) {
+            ++stats_.decode_failures;
+            counters_->add(util::Metric::kTraceDecodeErrors);
+            break;
+          }
+          packet->delivered_by = outcome->record.delivered_by;
+          if (!push(std::move(*packet), outcome->record.time_s())) return;
+          break;
+        }
+        case trace::ReadStatus::kBadCrc:
+          ++stats_.crc_failures;
+          counters_->add(util::Metric::kTraceCrcErrors);
+          break;
+        case trace::ReadStatus::kBadRecord:
+          ++stats_.bad_records;
+          counters_->add(util::Metric::kTraceDecodeErrors);
+          break;
+        case trace::ReadStatus::kTruncated:
+          stats_.truncated = true;
+          break;
+        case trace::ReadStatus::kOversized:
+          stats_.oversized = true;
+          break;
+      }
+    }
+    close();
+  });
+  run();
+  producer.join();
+  return stats_;
+}
+
+std::string Pipeline::verdict_digest() {
+  if (digest_hex_.empty()) {
+    crypto::Sha256Digest d = digest_.finish();
+    digest_hex_ = to_hex(ByteView(d.data(), d.size()));
+  }
+  return digest_hex_;
+}
+
+}  // namespace pnm::ingest

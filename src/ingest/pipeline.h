@@ -1,0 +1,101 @@
+// Streaming ingest pipeline: the sink's intake lane.
+//
+//   producer(s)                consumer (one thread)
+//   TraceReader / live tap --> BoundedQueue --> BatchVerifier --> Traceback
+//        decode + meter       backpressure      thread pool      fold in order
+//
+// Producers push decoded packets (from a trace file or a live SinkHandler)
+// into a bounded queue; the consumer drains them in FIFO batches through
+// sink::BatchVerifier and folds every verdict into the TracebackEngine in
+// arrival order — so the accusation state evolves exactly as it would under
+// the serial live sink, regardless of verifier thread count.
+//
+// A running SHA-256 over (wire image, delivered_by, verdict) of every packet
+// gives a determinism fingerprint: two replays of the same trace must agree
+// byte-for-byte, serial or parallel (tests/ingest_test.cpp asserts this).
+// util::Counters meters records, decode/CRC failures and the queue's
+// high-water depth.
+#pragma once
+
+#include <string>
+
+#include "crypto/sha256.h"
+#include "ingest/bounded_queue.h"
+#include "sink/batch_verifier.h"
+#include "sink/traceback.h"
+#include "trace/reader.h"
+#include "util/counters.h"
+
+namespace pnm::ingest {
+
+struct PipelineConfig {
+  /// Packets buffered between producer and consumer before push() blocks.
+  std::size_t queue_capacity = 1024;
+  /// Packets handed to BatchVerifier::verify_batch per drain.
+  std::size_t batch_size = 64;
+};
+
+/// Everything a pipeline run observed, for reporting and assertions.
+struct PipelineStats {
+  std::size_t records = 0;          ///< packets verified and folded
+  std::size_t decode_failures = 0;  ///< wire images net::decode_packet rejected
+  std::size_t crc_failures = 0;     ///< trace frames rejected by CRC
+  std::size_t bad_records = 0;      ///< CRC-clean frames with malformed payload
+  bool truncated = false;           ///< stream ended mid-frame
+  bool oversized = false;           ///< stream ended on an insane length prefix
+  std::size_t queue_high_water = 0;
+  double elapsed_s = 0.0;
+  double records_per_s = 0.0;
+};
+
+class Pipeline {
+ public:
+  /// `traceback` may be null (pure verification throughput runs). The
+  /// verifier/traceback must outlive the pipeline. `counters` defaults to
+  /// the verifier's counters instance.
+  Pipeline(sink::BatchVerifier& verifier, sink::TracebackEngine* traceback,
+           PipelineConfig cfg = {}, util::Counters* counters = nullptr);
+
+  // ---- producer side (any thread) ----
+
+  /// Blocking push with backpressure; false if the pipeline was closed.
+  bool push(net::Packet&& p, double time_s);
+  /// Signal end of input; run() returns once the queue drains.
+  void close();
+
+  // ---- consumer side (exactly one thread) ----
+
+  /// Drain until closed and empty, verifying batches and folding verdicts
+  /// in arrival order. Populates stats()/verdict_digest().
+  void run();
+
+  /// Convenience: spawns a producer thread that streams `reader` (decoding
+  /// and metering each record) and runs the consumer on the calling thread.
+  PipelineStats run_from_trace(trace::TraceReader& reader);
+
+  /// Stats of the completed run (partial while running).
+  const PipelineStats& stats() const { return stats_; }
+
+  /// Hex SHA-256 over every (wire, delivered_by, verdict) in arrival order.
+  /// Finalizes on first call (idempotent afterwards); call after run().
+  std::string verdict_digest();
+
+ private:
+  struct Item {
+    net::Packet packet;
+    double time_s = 0.0;
+  };
+
+  void fold_batch(std::vector<Item>& items);  // consumes the items' packets
+
+  sink::BatchVerifier& verifier_;
+  sink::TracebackEngine* traceback_;
+  PipelineConfig cfg_;
+  util::Counters* counters_;
+  BoundedQueue<Item> queue_;
+  PipelineStats stats_;
+  crypto::Sha256 digest_;
+  std::string digest_hex_;  ///< cached once verdict_digest() finalizes
+};
+
+}  // namespace pnm::ingest

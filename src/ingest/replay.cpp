@@ -1,0 +1,84 @@
+#include "ingest/replay.h"
+
+#include <cstdlib>
+
+#include "core/campaign.h"
+#include "crypto/keys.h"
+#include "marking/scheme.h"
+#include "net/topology.h"
+#include "sink/traceback.h"
+
+namespace pnm::ingest {
+
+namespace {
+
+std::optional<marking::SchemeKind> scheme_kind_by_name(const std::string& name) {
+  for (auto kind : marking::all_scheme_kinds())
+    if (name == marking::scheme_kind_name(kind)) return kind;
+  return std::nullopt;
+}
+
+ReplayResult fail(std::string why) {
+  ReplayResult r;
+  r.error = std::move(why);
+  return r;
+}
+
+}  // namespace
+
+ReplayResult replay_trace(trace::TraceReader& reader, const ReplayOptions& opts) {
+  if (!reader.valid()) return fail("invalid trace: " + reader.header_error());
+  const trace::TraceMeta& meta = reader.meta();
+
+  auto seed = meta.get_u64(trace::kMetaSeed);
+  auto forwarders = meta.get_u64(trace::kMetaForwarders);
+  auto scheme_name = meta.get(trace::kMetaScheme);
+  if (!seed || !forwarders || !scheme_name)
+    return fail("trace header missing campaign metadata (seed/forwarders/scheme)");
+  if (*forwarders < 2 || *forwarders > 60000)
+    return fail("implausible forwarder count in trace header");
+  auto kind = scheme_kind_by_name(*scheme_name);
+  if (!kind) return fail("unknown scheme '" + *scheme_name + "' in trace header");
+
+  marking::SchemeConfig scfg;
+  if (auto prob = meta.get(trace::kMetaMarkProbability))
+    scfg.mark_probability = std::strtod(prob->c_str(), nullptr);
+  if (auto mac = meta.get_u64(trace::kMetaMacLen)) scfg.mac_len = *mac;
+  if (auto anon = meta.get_u64(trace::kMetaAnonLen)) scfg.anon_len = *anon;
+
+  net::Topology topo = net::Topology::chain(static_cast<std::size_t>(*forwarders));
+  crypto::KeyStore keys(core::campaign_master_secret(*seed), topo.node_count());
+  auto scheme = marking::make_scheme(*kind, scfg);
+
+  util::Counters local_counters;
+  util::Counters* counters = opts.counters ? opts.counters : &local_counters;
+
+  sink::BatchVerifierConfig bcfg;
+  bcfg.threads = opts.threads;
+  if (opts.scoped && *kind == marking::SchemeKind::kPnm)
+    bcfg.strategy = sink::BatchStrategy::kScoped;
+  sink::BatchVerifier verifier(*scheme, keys, bcfg, &topo, counters);
+  sink::TracebackEngine engine(*scheme, keys, topo);
+
+  PipelineConfig pcfg;
+  pcfg.batch_size = opts.batch_size;
+  pcfg.queue_capacity = opts.queue_capacity;
+  Pipeline pipeline(verifier, &engine, pcfg, counters);
+
+  reader.rewind();
+  ReplayResult result;
+  result.stats = pipeline.run_from_trace(reader);
+  result.ok = true;
+  result.meta = meta;
+  result.verdict_digest = pipeline.verdict_digest();
+  result.analysis = engine.analysis();
+  result.marks_verified = engine.marks_verified();
+  return result;
+}
+
+ReplayResult replay_file(const std::string& path, const ReplayOptions& opts) {
+  trace::TraceReader reader(path);
+  return replay_trace(reader, opts);
+}
+
+}  // namespace pnm::ingest

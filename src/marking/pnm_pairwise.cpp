@@ -62,7 +62,7 @@ VerifyResult PnmPairwise::verify(const net::Packet& p, const crypto::KeyStore& k
       ByteView anon(m.id_field.data(), cfg_.anon_len);
       Bytes input = nested_mac_input(p, j, m.id_field);
       for (NodeId candidate : table.candidates(anon)) {
-        if (crypto::verify_mac(keys.key_unchecked(candidate), input, m.mac)) {
+        if (keys.hmac_key(candidate).verify(input, m.mac)) {
           resolved = candidate;
           break;
         }

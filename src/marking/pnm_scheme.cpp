@@ -45,7 +45,7 @@ VerifyResult PnmScheme::verify(const net::Packet& p, const crypto::KeyStore& key
       Bytes input = nested_mac_input(p, j, m.id_field);
       for (NodeId candidate : table.candidates(m.id_field)) {
         metrics.add(util::Metric::kMacChecks);
-        if (crypto::verify_mac(keys.key_unchecked(candidate), input, m.mac)) {
+        if (keys.hmac_key(candidate).verify(input, m.mac)) {
           resolved = candidate;
           break;
         }

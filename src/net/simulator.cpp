@@ -81,6 +81,7 @@ void Simulator::arrive(NodeId at, NodeId from, Packet packet) {
 
   if (at == kSinkId) {
     ++packets_delivered_;
+    if (delivery_tap_) delivery_tap_(packet, now_);
     if (sink_handler_) sink_handler_(std::move(packet), now_);
     return;
   }

@@ -30,6 +30,10 @@ using NodeHandler = std::function<std::optional<Packet>(Packet&&, NodeId self)>;
 /// Invoked when a packet reaches the sink (delivered_by already filled in).
 using SinkHandler = std::function<void(Packet&&, double time_s)>;
 
+/// Read-only observer of every sink delivery, invoked before the sink
+/// handler consumes the packet. The recording tap for trace capture.
+using DeliveryTap = std::function<void(const Packet&, double time_s)>;
+
 class Simulator {
  public:
   Simulator(const Topology& topo, const RoutingTable& routing, LinkModel link,
@@ -39,6 +43,10 @@ class Simulator {
   void set_node_handler(NodeId id, NodeHandler handler);
   void clear_node_handler(NodeId id);
   void set_sink_handler(SinkHandler handler) { sink_handler_ = std::move(handler); }
+
+  /// Optional recording tap: sees every delivered packet (const) just before
+  /// the sink handler runs. Used by the trace capture layer; null to disable.
+  void set_delivery_tap(DeliveryTap tap) { delivery_tap_ = std::move(tap); }
 
   /// Administratively cuts a node off: it no longer receives or forwards
   /// anything. Models the "network isolation" punishment of caught moles.
@@ -107,6 +115,7 @@ class Simulator {
   std::vector<NodeHandler> handlers_;
   std::vector<bool> isolated_;
   SinkHandler sink_handler_;
+  DeliveryTap delivery_tap_;
   struct PendingTx {
     NodeId to;
     Packet packet;

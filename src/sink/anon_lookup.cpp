@@ -13,7 +13,7 @@ AnonIdTable::AnonIdTable(const crypto::KeyStore& keys, ByteView report,
   // Node 0 is the sink itself and never marks; start from 1.
   for (std::size_t i = 1; i < keys.size(); ++i) {
     NodeId id = static_cast<NodeId>(i);
-    Bytes anon = crypto::anon_id(keys.key_unchecked(id), report, id, anon_len);
+    Bytes anon = crypto::anon_id(keys.hmac_key(id), report, id, anon_len);
     table_[key_of(anon)].push_back(id);
   }
 }
@@ -30,7 +30,7 @@ std::vector<NodeId> scoped_candidates(const crypto::KeyStore& keys,
   std::vector<NodeId> out;
   for (NodeId id : topo.closed_neighborhood(previous_hop)) {
     if (id == kSinkId || id >= keys.size()) continue;
-    Bytes candidate = crypto::anon_id(keys.key_unchecked(id), report, id, anon_len);
+    Bytes candidate = crypto::anon_id(keys.hmac_key(id), report, id, anon_len);
     if (candidate.size() == anon.size() &&
         std::equal(candidate.begin(), candidate.end(), anon.begin())) {
       out.push_back(id);

@@ -56,17 +56,17 @@ marking::VerifyResult scoped_verify_pnm(const net::Packet& p,
           ++local.prf_evaluations;
           Bytes anon;
           if (cache) {
-            anon = cache->get_or_compute(rkey, candidate, keys.key_unchecked(candidate),
+            anon = cache->get_or_compute(rkey, candidate, keys.hmac_key(candidate),
                                          p.report, cfg.anon_len, &metrics);
           } else {
             metrics.add(util::Metric::kPrfEvals);
-            anon = crypto::anon_id(keys.key_unchecked(candidate), p.report, candidate,
+            anon = crypto::anon_id(keys.hmac_key(candidate), p.report, candidate,
                                    cfg.anon_len);
           }
           if (anon != m.id_field) continue;
           ++local.mac_checks;
           metrics.add(util::Metric::kMacChecks);
-          if (crypto::verify_mac(keys.key_unchecked(candidate), input, m.mac)) {
+          if (keys.hmac_key(candidate).verify(input, m.mac)) {
             resolved = candidate;
             break;
           }

@@ -8,6 +8,11 @@ TracebackEngine::TracebackEngine(const marking::MarkingScheme& scheme,
 
 marking::VerifyResult TracebackEngine::ingest(const net::Packet& p) {
   marking::VerifyResult vr = scheme_.verify(p, keys_);
+  fold(p, vr);
+  return vr;
+}
+
+void TracebackEngine::fold(const net::Packet& p, const marking::VerifyResult& vr) {
   ++packets_;
   if (p.delivered_by != kInvalidNode) last_delivered_by_ = p.delivered_by;
 
@@ -30,7 +35,6 @@ marking::VerifyResult TracebackEngine::ingest(const net::Packet& p) {
     if (changed) last_status_change_packet_ = packets_;
     current_ = std::move(next);
   }
-  return vr;
 }
 
 std::optional<std::size_t> TracebackEngine::packets_to_identification() const {

@@ -30,6 +30,11 @@ class TracebackEngine {
   /// Verify one delivered packet and fold its marks into the order graph.
   marking::VerifyResult ingest(const net::Packet& p);
 
+  /// Fold a packet whose verification already happened elsewhere (e.g. the
+  /// batch engine): identical graph/analysis updates to ingest(), without
+  /// re-verifying. `vr` must be the scheme's verdict for `p`.
+  void fold(const net::Packet& p, const marking::VerifyResult& vr);
+
   /// Route analysis as of the last ingested packet.
   const RouteAnalysis& analysis() const { return current_; }
 

@@ -1,0 +1,81 @@
+#include "trace/format.h"
+
+#include <cstdio>
+
+namespace pnm::trace {
+
+namespace {
+
+Bytes str_bytes(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+std::string bytes_str(const Bytes& b) { return std::string(b.begin(), b.end()); }
+
+}  // namespace
+
+void TraceMeta::set_u64(const std::string& key, std::uint64_t value) {
+  set(key, std::to_string(value));
+}
+
+std::optional<std::string> TraceMeta::get(const std::string& key) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::uint64_t> TraceMeta::get_u64(const std::string& key) const {
+  auto v = get(key);
+  if (!v || v->empty()) return std::nullopt;
+  char* end = nullptr;
+  std::uint64_t out = std::strtoull(v->c_str(), &end, 10);
+  if (end != v->c_str() + v->size()) return std::nullopt;
+  return out;
+}
+
+Bytes TraceMeta::encode() const {
+  ByteWriter w;
+  w.u16(static_cast<std::uint16_t>(kv_.size()));
+  for (const auto& [key, value] : kv_) {
+    w.blob16(str_bytes(key));
+    w.blob16(str_bytes(value));
+  }
+  return std::move(w).take();
+}
+
+std::optional<TraceMeta> TraceMeta::decode(ByteView payload) {
+  ByteReader r(payload);
+  auto count = r.u16();
+  if (!count) return std::nullopt;
+  TraceMeta meta;
+  for (std::uint16_t i = 0; i < *count; ++i) {
+    auto key = r.blob16();
+    auto value = r.blob16();
+    if (!key || !value) return std::nullopt;
+    meta.kv_[bytes_str(*key)] = bytes_str(*value);
+  }
+  if (!r.at_end()) return std::nullopt;
+  return meta;
+}
+
+Bytes TraceRecord::encode() const {
+  ByteWriter w;
+  w.u64(time_us);
+  w.u16(delivered_by);
+  w.raw(wire);
+  return std::move(w).take();
+}
+
+std::optional<TraceRecord> TraceRecord::decode(ByteView payload) {
+  ByteReader r(payload);
+  auto time_us = r.u64();
+  auto delivered_by = r.u16();
+  if (!time_us || !delivered_by) return std::nullopt;
+  TraceRecord rec;
+  rec.time_us = *time_us;
+  rec.delivered_by = *delivered_by;
+  auto wire = r.raw(r.remaining());
+  if (!wire) return std::nullopt;
+  rec.wire = std::move(*wire);
+  return rec;
+}
+
+}  // namespace pnm::trace

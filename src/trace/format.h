@@ -1,0 +1,84 @@
+// The .pnmtrace on-disk format: a durable record of every packet a sink
+// absorbed during a campaign, so sink-side work (verification, traceback)
+// can be benchmarked, regression-tested and fuzzed against a *fixed* stream
+// instead of regenerating traffic in-process.
+//
+// Layout (little-endian):
+//
+//   file   := "PNMTRC" u16 version | frame(header) | frame(record)*
+//   frame  := u32 payload_len | payload | u32 crc32(payload)
+//   header := u16 count | { blob16 key | blob16 value }*     (metadata map)
+//   record := u64 time_us | u16 delivered_by | wire bytes    (rest of frame)
+//
+// The wire bytes are exactly net::encode_packet's image — the same bytes the
+// marking MACs are computed over — so a replayed packet verifies identically
+// to the live one. Every frame carries its own CRC-32: a flipped byte fails
+// that record only; a truncated tail fails cleanly at the cut. The metadata
+// map is self-describing (string keys), so readers skip keys they don't know
+// and old traces stay parseable as the format grows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+#include "util/ids.h"
+
+namespace pnm::trace {
+
+inline constexpr char kMagic[6] = {'P', 'N', 'M', 'T', 'R', 'C'};
+inline constexpr std::uint16_t kFormatVersion = 1;
+
+/// Hard cap on a single frame's payload. A length field beyond this is
+/// framing garbage (or an attack on the reader's allocator) and aborts the
+/// stream rather than allocating.
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+// Well-known metadata keys written by the campaign recorder. Readers must
+// tolerate any subset being absent.
+inline constexpr const char* kMetaSeed = "seed";
+inline constexpr const char* kMetaForwarders = "forwarders";
+inline constexpr const char* kMetaScheme = "scheme";
+inline constexpr const char* kMetaAttack = "attack";
+inline constexpr const char* kMetaMarkProbability = "mark_probability";
+inline constexpr const char* kMetaMacLen = "mac_len";
+inline constexpr const char* kMetaAnonLen = "anon_len";
+inline constexpr const char* kMetaConfigDigest = "config_digest";
+
+/// Campaign metadata carried in the trace header: string key/value pairs
+/// plus typed accessors for the well-known keys.
+class TraceMeta {
+ public:
+  void set(const std::string& key, const std::string& value) { kv_[key] = value; }
+  void set_u64(const std::string& key, std::uint64_t value);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::optional<std::uint64_t> get_u64(const std::string& key) const;
+
+  const std::map<std::string, std::string>& entries() const { return kv_; }
+
+  /// Header-frame payload image (u16 count, then sorted key/value blobs —
+  /// std::map iteration order makes the encoding canonical).
+  Bytes encode() const;
+  static std::optional<TraceMeta> decode(ByteView payload);
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// One delivered packet as recorded: when it arrived, from which last hop,
+/// and the exact wire image.
+struct TraceRecord {
+  std::uint64_t time_us = 0;           ///< sink-side delivery time
+  NodeId delivered_by = kInvalidNode;  ///< radio-layer previous hop
+  Bytes wire;                          ///< net::encode_packet image
+
+  double time_s() const { return static_cast<double>(time_us) / 1e6; }
+
+  Bytes encode() const;
+  static std::optional<TraceRecord> decode(ByteView payload);
+};
+
+}  // namespace pnm::trace

@@ -1,0 +1,176 @@
+#include "trace/reader.h"
+
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace pnm::trace {
+
+TraceReader::TraceReader(std::istream& in) : in_(&in) { init(); }
+
+TraceReader::TraceReader(const std::string& path)
+    : owned_(std::make_unique<std::ifstream>(path, std::ios::binary)) {
+  if (!owned_->is_open()) {
+    fail_header("cannot open '" + path + "'");
+    return;
+  }
+  in_ = owned_.get();
+  init();
+}
+
+void TraceReader::init() {
+  char magic[sizeof(kMagic)] = {};
+  in_->read(magic, sizeof(magic));
+  if (in_->gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail_header("bad magic (not a .pnmtrace file)");
+    return;
+  }
+  if (!read_u16(version_)) {
+    fail_header("truncated version field");
+    return;
+  }
+  if (version_ != kFormatVersion) {
+    fail_header("unsupported format version " + std::to_string(version_));
+    return;
+  }
+
+  // The header is an ordinary CRC frame holding the metadata map. Unlike
+  // record frames, any problem in it invalidates the whole reader — replay
+  // cannot reconstruct the campaign from untrusted metadata.
+  std::uint32_t len = 0, stored_crc = 0;
+  if (!read_u32(len)) {
+    fail_header("truncated header frame");
+    return;
+  }
+  if (len > kMaxFrameBytes) {
+    fail_header("oversized header frame");
+    return;
+  }
+  Bytes payload(len);
+  in_->read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(len));
+  if (in_->gcount() != static_cast<std::streamsize>(len) || !read_u32(stored_crc)) {
+    fail_header("truncated header frame");
+    return;
+  }
+  if (util::crc32(payload) != stored_crc) {
+    fail_header("header CRC mismatch");
+    return;
+  }
+  auto meta = TraceMeta::decode(payload);
+  if (!meta) {
+    fail_header("malformed header metadata");
+    return;
+  }
+  meta_ = std::move(*meta);
+  first_record_pos_ = in_->tellg();
+  valid_ = true;
+}
+
+void TraceReader::fail_header(const std::string& why) {
+  valid_ = false;
+  finished_ = true;
+  header_error_ = why;
+}
+
+bool TraceReader::read_u16(std::uint16_t& v) {
+  std::uint8_t b[2];
+  in_->read(reinterpret_cast<char*>(b), 2);
+  if (in_->gcount() != 2) return false;
+  v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+  return true;
+}
+
+bool TraceReader::read_u32(std::uint32_t& v) {
+  std::uint8_t b[4];
+  in_->read(reinterpret_cast<char*>(b), 4);
+  if (in_->gcount() != 4) return false;
+  v = static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+      (static_cast<std::uint32_t>(b[2]) << 16) |
+      (static_cast<std::uint32_t>(b[3]) << 24);
+  return true;
+}
+
+std::optional<ReadOutcome> TraceReader::next() {
+  if (!valid_ || finished_) return std::nullopt;
+
+  // Distinguish clean EOF (no bytes at all) from a truncated length prefix.
+  std::uint32_t len = 0;
+  {
+    std::uint8_t b[4];
+    in_->read(reinterpret_cast<char*>(b), 4);
+    std::streamsize got = in_->gcount();
+    if (got == 0) {
+      finished_ = true;
+      return std::nullopt;
+    }
+    if (got != 4) {
+      finished_ = true;
+      return ReadOutcome{ReadStatus::kTruncated, {}};
+    }
+    len = static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+          (static_cast<std::uint32_t>(b[2]) << 16) |
+          (static_cast<std::uint32_t>(b[3]) << 24);
+  }
+  if (len > kMaxFrameBytes) {
+    finished_ = true;
+    return ReadOutcome{ReadStatus::kOversized, {}};
+  }
+
+  Bytes payload(len);
+  in_->read(reinterpret_cast<char*>(payload.data()), static_cast<std::streamsize>(len));
+  std::uint32_t stored_crc = 0;
+  if (in_->gcount() != static_cast<std::streamsize>(len) || !read_u32(stored_crc)) {
+    finished_ = true;
+    return ReadOutcome{ReadStatus::kTruncated, {}};
+  }
+
+  if (util::crc32(payload) != stored_crc) return ReadOutcome{ReadStatus::kBadCrc, {}};
+
+  auto record = TraceRecord::decode(payload);
+  if (!record) return ReadOutcome{ReadStatus::kBadRecord, {}};
+  return ReadOutcome{ReadStatus::kRecord, std::move(*record)};
+}
+
+void TraceReader::rewind() {
+  if (!valid_) return;
+  in_->clear();
+  in_->seekg(first_record_pos_);
+  finished_ = false;
+}
+
+TraceStat TraceReader::stat() {
+  TraceStat s;
+  if (!valid_) return s;
+  rewind();
+  bool first = true;
+  while (auto outcome = next()) {
+    switch (outcome->status) {
+      case ReadStatus::kRecord:
+        ++s.records;
+        s.wire_bytes += outcome->record.wire.size();
+        if (first) {
+          s.first_time_us = outcome->record.time_us;
+          first = false;
+        }
+        s.last_time_us = outcome->record.time_us;
+        break;
+      case ReadStatus::kBadCrc:
+        ++s.bad_crc;
+        break;
+      case ReadStatus::kBadRecord:
+        ++s.bad_record;
+        break;
+      case ReadStatus::kTruncated:
+        s.truncated = true;
+        break;
+      case ReadStatus::kOversized:
+        s.oversized = true;
+        break;
+    }
+  }
+  rewind();
+  return s;
+}
+
+}  // namespace pnm::trace

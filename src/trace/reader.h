@@ -1,0 +1,100 @@
+// TraceReader — streams records back out of a .pnmtrace file, hardened the
+// same way the wire parser is: any byte stream, however truncated or
+// corrupted, yields per-record outcomes and never an out-of-bounds read or
+// a crash.
+//
+// Error containment levels:
+//   * a frame whose CRC mismatches is reported (kBadCrc) and SKIPPED — the
+//     length prefix still framed it, so the stream stays in sync;
+//   * a payload that fails structural decode is reported (kBadRecord);
+//   * a truncated tail (length prefix or payload cut short) is reported
+//     (kTruncated) and ends the stream — there is nothing to resync on;
+//   * a length prefix beyond kMaxFrameBytes is framing garbage (kOversized)
+//     and ends the stream before any allocation.
+//
+// A reader whose header failed (bad magic/version/meta) is !valid() and
+// returns no records.
+#pragma once
+
+#include <fstream>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "trace/format.h"
+
+namespace pnm::trace {
+
+enum class ReadStatus {
+  kRecord,     ///< outcome.record is a verified, decoded record
+  kBadCrc,     ///< frame skipped: stored CRC does not match the payload
+  kBadRecord,  ///< frame skipped: CRC fine but payload structure malformed
+  kTruncated,  ///< stream ends mid-frame; no further records
+  kOversized,  ///< insane length prefix; no further records
+};
+
+/// True when the stream cannot continue past this outcome.
+inline constexpr bool is_fatal(ReadStatus s) {
+  return s == ReadStatus::kTruncated || s == ReadStatus::kOversized;
+}
+
+struct ReadOutcome {
+  ReadStatus status = ReadStatus::kRecord;
+  TraceRecord record;  ///< meaningful only when status == kRecord
+};
+
+/// Whole-file summary produced by TraceReader::stat().
+struct TraceStat {
+  std::size_t records = 0;
+  std::size_t bad_crc = 0;
+  std::size_t bad_record = 0;
+  bool truncated = false;
+  bool oversized = false;
+  std::uint64_t first_time_us = 0;
+  std::uint64_t last_time_us = 0;
+  std::size_t wire_bytes = 0;  ///< total payload wire bytes across records
+};
+
+class TraceReader {
+ public:
+  /// Read from a caller-owned seekable stream.
+  explicit TraceReader(std::istream& in);
+  /// Open `path`; valid() is false if the open or the header parse failed.
+  explicit TraceReader(const std::string& path);
+
+  /// Header parsed successfully (magic, version, CRC-clean metadata).
+  bool valid() const { return valid_; }
+  /// Human-readable reason when !valid().
+  const std::string& header_error() const { return header_error_; }
+
+  const TraceMeta& meta() const { return meta_; }
+  std::uint16_t version() const { return version_; }
+
+  /// Next outcome, or nullopt at clean end-of-stream. After a fatal outcome
+  /// (or on an invalid reader) always returns nullopt.
+  std::optional<ReadOutcome> next();
+
+  /// Seek back to the first record (valid readers only).
+  void rewind();
+
+  /// Scan the remaining stream, tally everything, then rewind.
+  TraceStat stat();
+
+ private:
+  void init();
+  bool read_u16(std::uint16_t& v);
+  bool read_u32(std::uint32_t& v);
+  void fail_header(const std::string& why);
+
+  std::unique_ptr<std::ifstream> owned_;  ///< set by the path constructor
+  std::istream* in_ = nullptr;
+  bool valid_ = false;
+  bool finished_ = false;
+  std::string header_error_;
+  TraceMeta meta_;
+  std::uint16_t version_ = 0;
+  std::streampos first_record_pos_{};
+};
+
+}  // namespace pnm::trace

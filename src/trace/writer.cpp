@@ -1,0 +1,72 @@
+#include "trace/writer.h"
+
+#include <cmath>
+
+#include "net/wire.h"
+#include "util/crc32.h"
+
+namespace pnm::trace {
+
+namespace {
+
+void put_u16(std::ostream& out, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xFF), static_cast<char>(v >> 8)};
+  out.write(b, 2);
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out.write(b, 4);
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(std::ostream& out, const TraceMeta& meta) : out_(&out) {
+  out_->write(kMagic, sizeof(kMagic));
+  put_u16(*out_, kFormatVersion);
+  bytes_ += sizeof(kMagic) + 2;
+  write_frame(meta.encode());
+}
+
+TraceWriter::TraceWriter(const std::string& path, const TraceMeta& meta)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::binary | std::ios::trunc)) {
+  if (!owned_->is_open()) {
+    out_ = nullptr;
+    return;
+  }
+  out_ = owned_.get();
+  out_->write(kMagic, sizeof(kMagic));
+  put_u16(*out_, kFormatVersion);
+  bytes_ += sizeof(kMagic) + 2;
+  write_frame(meta.encode());
+}
+
+void TraceWriter::write_frame(ByteView payload) {
+  if (!ok()) return;
+  put_u32(*out_, static_cast<std::uint32_t>(payload.size()));
+  out_->write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  put_u32(*out_, util::crc32(payload));
+  bytes_ += 8 + payload.size();
+}
+
+void TraceWriter::append(const net::Packet& p, double time_s) {
+  append_raw(net::encode_packet(p),
+             static_cast<std::uint64_t>(std::llround(time_s * 1e6)), p.delivered_by);
+}
+
+void TraceWriter::append_raw(ByteView wire, std::uint64_t time_us, NodeId delivered_by) {
+  TraceRecord rec;
+  rec.time_us = time_us;
+  rec.delivered_by = delivered_by;
+  rec.wire.assign(wire.begin(), wire.end());
+  write_frame(rec.encode());
+  if (ok()) ++records_;
+}
+
+void TraceWriter::flush() {
+  if (out_) out_->flush();
+}
+
+}  // namespace pnm::trace

@@ -1,0 +1,52 @@
+// TraceWriter — records delivered packets into the .pnmtrace format.
+//
+// One writer per campaign: construct with the campaign metadata (written as
+// the CRC-framed header), then append() each packet the sink absorbs, in
+// delivery order. Appends are cheap (one encode + CRC + buffered stream
+// write); flush()/destruction pushes everything to the underlying stream.
+// Writes to any std::ostream; the path constructor owns a std::ofstream for
+// the common file case.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "net/report.h"
+#include "trace/format.h"
+
+namespace pnm::trace {
+
+class TraceWriter {
+ public:
+  /// Write to a caller-owned stream (e.g. an in-memory stringstream).
+  TraceWriter(std::ostream& out, const TraceMeta& meta);
+  /// Open `path` (truncating) and write there; ok() reports open failure.
+  TraceWriter(const std::string& path, const TraceMeta& meta);
+
+  /// Record one delivered packet: its exact wire image (net::encode_packet),
+  /// the sink-side delivery time, and the radio-layer previous hop.
+  void append(const net::Packet& p, double time_s);
+
+  /// Lower-level form for pre-encoded wire bytes.
+  void append_raw(ByteView wire, std::uint64_t time_us, NodeId delivered_by);
+
+  void flush();
+
+  /// False after an open or stream-write failure; appends become no-ops.
+  bool ok() const { return out_ != nullptr && out_->good(); }
+
+  std::size_t records_written() const { return records_; }
+  std::size_t bytes_written() const { return bytes_; }
+
+ private:
+  void write_frame(ByteView payload);
+
+  std::unique_ptr<std::ofstream> owned_;  ///< set by the path constructor
+  std::ostream* out_ = nullptr;
+  std::size_t records_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace pnm::trace

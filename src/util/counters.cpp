@@ -13,6 +13,11 @@ const char* metric_name(Metric m) {
     case Metric::kCacheMisses: return "cache_misses";
     case Metric::kPacketsVerified: return "packets_verified";
     case Metric::kBatches: return "batches";
+    case Metric::kTraceRecordsRead: return "trace_records_read";
+    case Metric::kTraceCrcErrors: return "trace_crc_errors";
+    case Metric::kTraceDecodeErrors: return "trace_decode_errors";
+    case Metric::kIngestRecords: return "ingest_records";
+    case Metric::kIngestQueueHighWater: return "ingest_queue_high_water";
     case Metric::kMetricCount: break;
   }
   return "unknown";

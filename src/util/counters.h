@@ -24,6 +24,11 @@ enum class Metric : std::size_t {
   kCacheMisses,       ///< PRF memo-cache misses (fell through to compute)
   kPacketsVerified,   ///< packets through any sink verification path
   kBatches,           ///< verify_batch invocations
+  kTraceRecordsRead,  ///< CRC-clean records streamed out of trace files
+  kTraceCrcErrors,    ///< trace frames rejected for CRC mismatch
+  kTraceDecodeErrors, ///< trace records that framed but failed to decode
+  kIngestRecords,     ///< packets pushed through the ingest pipeline
+  kIngestQueueHighWater,  ///< max-tracked ingest queue depth (update_max)
   kMetricCount,
 };
 
@@ -44,6 +49,15 @@ class Counters {
     slot(m).fetch_add(delta, std::memory_order_relaxed);
   }
   std::uint64_t get(Metric m) const { return slot(m).load(std::memory_order_relaxed); }
+
+  /// Lock-free running maximum — for gauges like queue high-water marks.
+  void update_max(Metric m, std::uint64_t value) {
+    auto& s = slot(m);
+    std::uint64_t cur = s.load(std::memory_order_relaxed);
+    while (cur < value &&
+           !s.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    }
+  }
 
   void record_batch_latency_us(double us);
   LatencySummary latency_summary() const;

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-record
+// integrity check of the trace file format. Not cryptographic: it catches
+// bit rot, truncation and casual corruption; authenticity is the MACs' job.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace pnm::util {
+
+/// One-shot CRC-32 of a byte range.
+std::uint32_t crc32(ByteView data);
+
+/// Incremental form: feed `crc32_update` the previous return value (start
+/// from crc32_init()) and finish with crc32_final().
+inline constexpr std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+std::uint32_t crc32_update(std::uint32_t state, ByteView data);
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace pnm::util

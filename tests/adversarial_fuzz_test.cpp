@@ -14,12 +14,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "attack/attacks.h"
+#include "core/campaign.h"
 #include "core/protocol.h"
 #include "crypto/keys.h"
 #include "net/simulator.h"
+#include "net/wire.h"
 #include "sink/traceback.h"
+#include "trace/reader.h"
 
 namespace pnm {
 namespace {
@@ -262,6 +269,155 @@ TEST_P(AdversarialFuzz, NestedNeverFramesInnocentsEither) {
     EXPECT_TRUE(mole_in_suspects) << "seed " << seed;
   }
 }
+
+// ---------------------------------------------------------------------------
+// Corpus-seeded fuzzing. The checked-in traces (tests/corpus/) are recorded
+// campaigns — realistic packet streams including each attack's damage
+// patterns — which makes them better mutation seeds than synthetic packets:
+// every mutation starts from bytes the sink actually absorbs in production.
+
+#ifdef PNM_CORPUS_DIR
+
+std::vector<std::string> corpus_paths() {
+  static const std::vector<std::string> names = {
+      "source-only", "no-mark",        "mark-insertion", "mark-removal",
+      "removal-blind", "mark-reorder", "mark-altering",  "selective-drop",
+      "drop-any-marked", "identity-swap"};
+  std::vector<std::string> paths;
+  for (const auto& n : names) {
+    std::string p = std::string(PNM_CORPUS_DIR) + "/" + n + ".pnmtrace";
+    if (FILE* f = std::fopen(p.c_str(), "rb")) {
+      std::fclose(f);
+      paths.push_back(std::move(p));
+    }
+  }
+  return paths;
+}
+
+std::string slurp_file(const std::string& path) {
+  std::string blob;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return blob;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) blob.append(buf, n);
+  std::fclose(f);
+  return blob;
+}
+
+TEST(CorpusFuzz, EveryCorpusTraceIsCleanAndNonEmpty) {
+  auto paths = corpus_paths();
+  if (paths.empty()) GTEST_SKIP() << "corpus not found at " PNM_CORPUS_DIR;
+  for (const auto& path : paths) {
+    trace::TraceReader reader(path);
+    ASSERT_TRUE(reader.valid()) << path << ": " << reader.header_error();
+    trace::TraceStat s = reader.stat();
+    EXPECT_GT(s.records, 0u) << path;
+    EXPECT_EQ(s.bad_crc, 0u) << path;
+    EXPECT_EQ(s.bad_record, 0u) << path;
+    EXPECT_FALSE(s.truncated) << path;
+  }
+}
+
+TEST(CorpusFuzz, BitFlippedRecordsAreRejectedByCrc) {
+  auto paths = corpus_paths();
+  if (paths.empty()) GTEST_SKIP() << "corpus not found at " PNM_CORPUS_DIR;
+  Rng rng(0xC0DE);
+  std::size_t rejected = 0;
+  for (const auto& path : paths) {
+    std::string blob = slurp_file(path);
+    ASSERT_GT(blob.size(), 64u) << path;
+    std::istringstream clean_in(blob);
+    trace::TraceReader clean(clean_in);
+    ASSERT_TRUE(clean.valid());
+    const std::size_t clean_records = clean.stat().records;
+
+    for (int round = 0; round < 25; ++round) {
+      std::string damaged = blob;
+      // Flip 1-3 random bits anywhere in the stream.
+      std::size_t flips = 1 + rng.next_below(3);
+      for (std::size_t k = 0; k < flips; ++k)
+        damaged[rng.next_below(damaged.size())] ^=
+            static_cast<char>(1 << rng.next_below(8));
+
+      std::istringstream in(damaged);
+      trace::TraceReader reader(in);
+      if (!reader.valid()) {
+        ++rejected;  // header damage: refused up front, also correct
+        continue;
+      }
+      std::size_t good = 0, bad = 0;
+      while (auto outcome = reader.next()) {
+        if (outcome->status == trace::ReadStatus::kRecord) {
+          // Surviving records must still decode as packets — damage never
+          // leaks through a valid CRC into the verifier.
+          EXPECT_TRUE(net::decode_packet(outcome->record.wire).has_value());
+          ++good;
+        } else {
+          ++bad;
+        }
+      }
+      EXPECT_LE(good, clean_records);
+      if (bad > 0 || good < clean_records) ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);  // the flips did land, and were caught
+}
+
+TEST(CorpusFuzz, MutatedWireImagesNeverBreakDecodeOrVerify) {
+  auto paths = corpus_paths();
+  if (paths.empty()) GTEST_SKIP() << "corpus not found at " PNM_CORPUS_DIR;
+  crypto::KeyStore keys(core::campaign_master_secret(42), 10);
+  auto scheme = marking::make_scheme(marking::SchemeKind::kPnm, {});
+  Rng rng(0xF00D);
+
+  std::size_t mutants = 0, decodable = 0;
+  for (const auto& path : paths) {
+    trace::TraceReader reader(path);
+    ASSERT_TRUE(reader.valid());
+    while (auto outcome = reader.next()) {
+      if (outcome->status != trace::ReadStatus::kRecord) continue;
+      Bytes wire = outcome->record.wire;
+      // A few mutants per record: truncate, flip, extend, splice.
+      for (int m = 0; m < 3; ++m) {
+        Bytes mutant = wire;
+        switch (rng.next_below(4)) {
+          case 0:
+            mutant.resize(rng.next_below(mutant.size() + 1));
+            break;
+          case 1:
+            if (!mutant.empty())
+              mutant[rng.next_below(mutant.size())] ^=
+                  static_cast<std::uint8_t>(1 + rng.next_below(255));
+            break;
+          case 2: {
+            std::size_t extra = 1 + rng.next_below(6);
+            for (std::size_t k = 0; k < extra; ++k)
+              mutant.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+            break;
+          }
+          default:
+            if (mutant.size() > 2) {
+              std::size_t at = rng.next_below(mutant.size() - 1);
+              mutant[at] = mutant[mutant.size() - 1 - at];
+            }
+            break;
+        }
+        ++mutants;
+        auto p = net::decode_packet(mutant);  // must never crash or overrun
+        if (!p) continue;
+        ++decodable;
+        p->delivered_by = 1;
+        auto vr = scheme->verify(*p, keys);  // nor must verification
+        EXPECT_LE(vr.chain.size(), p->marks.size());
+      }
+    }
+  }
+  EXPECT_GT(mutants, 0u);
+  EXPECT_GT(decodable, 0u);  // some mutants stay well-formed (flips in fields)
+}
+
+#endif  // PNM_CORPUS_DIR
 
 }  // namespace
 }  // namespace pnm

@@ -83,4 +83,75 @@ TEST(Cli, UnknownInputsFailCleanly) {
   EXPECT_EQ(run_cli("").exit_code, 2);
 }
 
+TEST(Cli, RecordReplayStatRoundTrip) {
+  REQUIRE_TOOL();
+  std::string trace = ::testing::TempDir() + "/cli_roundtrip.pnmtrace";
+
+  CliResult rec = run_cli("record --out " + trace +
+                          " --forwarders 8 --packets 120 --seed 5");
+  EXPECT_EQ(rec.exit_code, 0) << rec.out;
+  EXPECT_NE(rec.out.find("trace capture"), std::string::npos);
+  EXPECT_NE(rec.out.find("records written"), std::string::npos);
+
+  CliResult stat = run_cli("trace-stat --in " + trace);
+  EXPECT_EQ(stat.exit_code, 0) << stat.out;
+  EXPECT_NE(stat.out.find("meta.seed"), std::string::npos);
+  EXPECT_NE(stat.out.find("meta.scheme"), std::string::npos);
+  EXPECT_NE(stat.out.find("meta.config_digest"), std::string::npos);
+
+  CliResult rep = run_cli("replay --in " + trace + " --threads 2");
+  EXPECT_EQ(rep.exit_code, 0) << rep.out;
+  EXPECT_NE(rep.out.find("trace replay"), std::string::npos);
+  EXPECT_NE(rep.out.find("verdict digest: "), std::string::npos);
+  EXPECT_NE(rep.out.find("counters: {"), std::string::npos);
+
+  // Live and replayed runs must land on the same accusation table rows.
+  CliResult live = run_cli("experiment --forwarders 8 --packets 120 --seed 5");
+  // Extract a row's value with table padding stripped, so rows from tables
+  // with different column widths compare equal.
+  auto row = [](const std::string& out, const std::string& key) {
+    std::size_t at = out.find(key);
+    if (at == std::string::npos) return std::string();
+    std::size_t end = out.find('\n', at);
+    std::string value = out.substr(at + key.size(), end - at - key.size());
+    std::string packed;
+    for (char c : value)
+      if (c != ' ' && c != '|') packed.push_back(c);
+    return packed;
+  };
+  EXPECT_EQ(row(rep.out, "stop node"), row(live.out, "stop node"));
+  EXPECT_EQ(row(rep.out, "suspects"), row(live.out, "suspects"));
+
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, ReplayDigestIsDeterministicAcrossThreadCounts) {
+  REQUIRE_TOOL();
+  std::string trace = ::testing::TempDir() + "/cli_digest.pnmtrace";
+  ASSERT_EQ(run_cli("record --out " + trace +
+                    " --forwarders 6 --packets 80 --seed 9 --attack mark-removal")
+                .exit_code,
+            0);
+  auto digest_of = [&](const std::string& extra) {
+    std::string out = run_cli("replay --in " + trace + " " + extra).out;
+    std::size_t at = out.find("verdict digest: ");
+    return at == std::string::npos ? std::string()
+                                   : out.substr(at + 16, 64);
+  };
+  std::string serial = digest_of("--threads 1");
+  ASSERT_EQ(serial.size(), 64u);
+  EXPECT_EQ(digest_of("--threads 4"), serial);
+  EXPECT_EQ(digest_of("--threads 4 --batch 8"), serial);
+  std::remove(trace.c_str());
+}
+
+TEST(Cli, TraceSubcommandsFailCleanlyOnBadInput) {
+  REQUIRE_TOOL();
+  EXPECT_EQ(run_cli("record --forwarders 4").exit_code, 2);  // missing --out
+  EXPECT_EQ(run_cli("replay").exit_code, 2);                 // missing --in
+  EXPECT_EQ(run_cli("trace-stat").exit_code, 2);
+  EXPECT_EQ(run_cli("replay --in /nonexistent-dir-xyz/t.pnmtrace").exit_code, 1);
+  EXPECT_EQ(run_cli("trace-stat --in /nonexistent-dir-xyz/t.pnmtrace").exit_code, 1);
+}
+
 }  // namespace

@@ -10,6 +10,7 @@
 #include "crypto/keys.h"
 #include "marking/scheme.h"
 #include "net/simulator.h"
+#include "net/wire.h"
 #include "sink/order_matrix.h"
 
 namespace pnm {
@@ -364,6 +365,83 @@ INSTANTIATE_TEST_SUITE_P(
         if (c == '-') c = '_';
       return name + "_mac" + std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------------
+// Invariant: the wire codec is a bijection on well-formed packets. Every
+// packet within the caps — including every boundary (zero marks, the 255-mark
+// max, empty and maximum-width fields) — survives encode → decode → encode
+// byte-identically. The trace format stores exactly these wire images, so
+// this is what makes a replayed packet verify like the live one.
+
+class WireRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireRoundTripProperty, EncodeDecodeEncodeIsIdentity) {
+  Rng rng(GetParam());
+  const std::size_t boundary_counts[] = {0, 1, 2, net::kMaxWireMarks};
+  const std::size_t boundary_fields[] = {0, 1, 2, net::kMaxIdFieldBytes};
+
+  for (int trial = 0; trial < 60; ++trial) {
+    net::Packet p;
+    // Report size: mostly small, sometimes the exact cap.
+    std::size_t report_len = trial % 10 == 0 ? net::kMaxReportBytes : rng.next_below(64);
+    p.report.resize(report_len);
+    for (auto& b : p.report) b = static_cast<std::uint8_t>(rng.next_below(256));
+
+    std::size_t mark_count = trial < 8 ? boundary_counts[trial % 4]
+                                       : rng.next_below(net::kMaxWireMarks + 1);
+    for (std::size_t i = 0; i < mark_count; ++i) {
+      net::Mark m;
+      std::size_t id_len = i < 4 ? boundary_fields[i % 4] : rng.next_below(8);
+      std::size_t mac_len = i < 4 ? boundary_fields[(i + 1) % 4] : rng.next_below(8);
+      m.id_field.resize(id_len);
+      m.mac.resize(std::min(mac_len, net::kMaxMacBytes));
+      for (auto& b : m.id_field) b = static_cast<std::uint8_t>(rng.next_below(256));
+      for (auto& b : m.mac) b = static_cast<std::uint8_t>(rng.next_below(256));
+      p.marks.push_back(std::move(m));
+    }
+
+    Bytes wire = net::encode_packet(p);
+    auto decoded = net::decode_packet(wire);
+    ASSERT_TRUE(decoded.has_value())
+        << "trial " << trial << ": " << mark_count << " marks, report " << report_len;
+    EXPECT_EQ(decoded->report, p.report);
+    ASSERT_EQ(decoded->marks.size(), p.marks.size());
+    for (std::size_t i = 0; i < p.marks.size(); ++i) {
+      EXPECT_EQ(decoded->marks[i].id_field, p.marks[i].id_field);
+      EXPECT_EQ(decoded->marks[i].mac, p.marks[i].mac);
+    }
+    EXPECT_EQ(net::encode_packet(*decoded), wire);  // canonical: no second image
+  }
+}
+
+TEST_P(WireRoundTripProperty, DecodeRejectsBeyondCapImages) {
+  Rng rng(GetParam() ^ 0x5151);
+  // Hand-build images that violate exactly one cap; the parser must reject
+  // every one (the encoder can't produce them, a mole can).
+  for (int trial = 0; trial < 20; ++trial) {
+    ByteWriter w;
+    int which = trial % 3;
+    if (which == 0) {  // oversized report
+      Bytes report(net::kMaxReportBytes + 1 + rng.next_below(100));
+      w.blob16(report);
+      w.u8(0);
+    } else if (which == 1) {  // oversized id field
+      w.blob16(Bytes{});
+      w.u8(1);
+      Bytes id(net::kMaxIdFieldBytes + 1 + rng.next_below(100));
+      w.blob16(id);
+      w.blob16(Bytes{});
+    } else {  // trailing garbage after a valid image
+      w.blob16(Bytes{0x01});
+      w.u8(0);
+      w.u8(static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+    EXPECT_FALSE(net::decode_packet(w.bytes()).has_value()) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundTripProperty,
+                         ::testing::Values(11u, 22u, 33u, 44u));
 
 }  // namespace
 }  // namespace pnm

@@ -21,6 +21,18 @@
 //       run them through the batch engine serially and with T threads;
 //       prints rates, speedup and the verification counters as JSON.
 //
+//   pnm record    --out FILE.pnmtrace [experiment flags]
+//       Run a chain experiment and record every delivered packet (wire
+//       bytes + delivery time + previous hop) into a replayable trace.
+//
+//   pnm replay    --in FILE.pnmtrace [--threads T] [--batch B] [--scoped 1]
+//       Rebuild the sink from the trace header and stream the records
+//       through the ingest pipeline; prints the accusation set, the verdict
+//       digest (the determinism fingerprint) and the ingest counters JSON.
+//
+//   pnm trace-stat --in FILE.pnmtrace
+//       Header metadata plus a record/error census of the file.
+//
 //   pnm list
 //       Available schemes and attacks.
 //
@@ -35,8 +47,10 @@
 
 #include "analysis/models.h"
 #include "core/campaign.h"
+#include "ingest/replay.h"
 #include "sink/batch_verifier.h"
 #include "sink/route_render.h"
+#include "trace/reader.h"
 #include "util/counters.h"
 #include "util/table.h"
 
@@ -98,7 +112,7 @@ int cmd_list() {
   return 0;
 }
 
-int cmd_experiment(const Args& args) {
+pnm::core::ChainExperimentConfig chain_config_from(const Args& args) {
   pnm::core::ChainExperimentConfig cfg;
   cfg.forwarders = args.num("forwarders", 10);
   cfg.packets = args.num("packets", 200);
@@ -108,6 +122,11 @@ int cmd_experiment(const Args& args) {
   cfg.protocol.scheme = scheme_by_name(args.str("scheme", "pnm"));
   cfg.protocol.target_marks_per_packet = args.real("marks", 3.0);
   cfg.attack = attack_by_name(args.str("attack", "source-only"));
+  return cfg;
+}
+
+int cmd_experiment(const Args& args) {
+  pnm::core::ChainExperimentConfig cfg = chain_config_from(args);
 
   // --render text|dot : dump the reconstructed order graph afterwards.
   std::string render_mode = args.str("render", "");
@@ -295,6 +314,117 @@ int cmd_verify(const Args& args) {
   return 0;
 }
 
+std::string node_list(const std::vector<pnm::NodeId>& nodes) {
+  std::string out;
+  for (auto v : nodes)
+    out += (out.empty() ? "" : " ") + Table::num(static_cast<std::size_t>(v));
+  return out;
+}
+
+int cmd_record(const Args& args) {
+  std::string out_path = args.str("out", "");
+  if (out_path.empty()) {
+    std::fprintf(stderr, "record: --out FILE.pnmtrace is required\n");
+    return 2;
+  }
+  pnm::core::ChainExperimentConfig cfg = chain_config_from(args);
+  cfg.record_path = out_path;
+  auto r = pnm::core::run_chain_experiment(cfg);
+
+  Table t({"metric", "value"});
+  t.set_title("trace capture");
+  t.add_row({"trace", out_path});
+  t.add_row({"scheme", std::string(pnm::marking::scheme_kind_name(cfg.protocol.scheme))});
+  t.add_row({"attack", std::string(pnm::attack::attack_kind_name(cfg.attack))});
+  t.add_row({"seed", Table::num(cfg.seed)});
+  t.add_row({"bogus injected / delivered",
+             Table::num(r.packets_injected) + " / " + Table::num(r.packets_delivered)});
+  t.add_row({"records written", Table::num(r.records_recorded)});
+  t.add_row({"identified (live)", r.final_analysis.identified ? "yes" : "no"});
+  if (r.final_analysis.identified) {
+    t.add_row({"stop node (live)",
+               Table::num(static_cast<std::size_t>(r.final_analysis.stop_node))});
+    t.add_row({"suspects (live)", node_list(r.final_analysis.suspects)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return r.records_recorded == r.packets_delivered ? 0 : 1;
+}
+
+int cmd_replay(const Args& args) {
+  std::string in_path = args.str("in", "");
+  if (in_path.empty()) {
+    std::fprintf(stderr, "replay: --in FILE.pnmtrace is required\n");
+    return 2;
+  }
+  pnm::ingest::ReplayOptions opts;
+  opts.threads = args.num("threads", 1);
+  opts.scoped = args.num("scoped", 0) != 0;
+  opts.batch_size = args.num("batch", 64);
+  opts.counters = &pnm::util::Counters::global();
+  auto r = pnm::ingest::replay_file(in_path, opts);
+  if (!r.ok) {
+    std::fprintf(stderr, "replay: %s\n", r.error.c_str());
+    return 1;
+  }
+
+  Table t({"metric", "value"});
+  t.set_title("trace replay");
+  t.add_row({"trace", in_path});
+  t.add_row({"scheme", r.meta.get(pnm::trace::kMetaScheme).value_or("?")});
+  t.add_row({"attack", r.meta.get(pnm::trace::kMetaAttack).value_or("?")});
+  t.add_row({"records replayed", Table::num(r.stats.records)});
+  t.add_row({"decode failures", Table::num(r.stats.decode_failures)});
+  t.add_row({"crc failures", Table::num(r.stats.crc_failures + r.stats.bad_records)});
+  t.add_row({"stream cut short",
+             r.stats.truncated ? "truncated" : (r.stats.oversized ? "oversized" : "no")});
+  t.add_row({"marks verified", Table::num(r.marks_verified)});
+  t.add_row({"records/s", Table::num(r.stats.records_per_s, 0)});
+  t.add_row({"queue high water", Table::num(r.stats.queue_high_water)});
+  t.add_row({"identified", r.analysis.identified ? "yes" : "no"});
+  if (r.analysis.identified) {
+    t.add_row({"stop node", Table::num(static_cast<std::size_t>(r.analysis.stop_node))});
+    t.add_row({"suspects", node_list(r.analysis.suspects)});
+    t.add_row({"via loop", r.analysis.via_loop ? "yes" : "no"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("verdict digest: %s\n", r.verdict_digest.c_str());
+  std::printf("counters: %s\n", pnm::util::Counters::global().to_json().c_str());
+  return 0;
+}
+
+int cmd_trace_stat(const Args& args) {
+  std::string in_path = args.str("in", "");
+  if (in_path.empty()) {
+    std::fprintf(stderr, "trace-stat: --in FILE.pnmtrace is required\n");
+    return 2;
+  }
+  pnm::trace::TraceReader reader(in_path);
+  if (!reader.valid()) {
+    std::fprintf(stderr, "trace-stat: %s\n", reader.header_error().c_str());
+    return 1;
+  }
+  auto stat = reader.stat();
+
+  Table t({"field", "value"});
+  t.set_title("trace file " + in_path);
+  t.add_row({"format version", Table::num(static_cast<std::size_t>(reader.version()))});
+  for (const auto& [key, value] : reader.meta().entries())
+    t.add_row({"meta." + key, value});
+  t.add_row({"records", Table::num(stat.records)});
+  t.add_row({"bad crc / bad record",
+             Table::num(stat.bad_crc) + " / " + Table::num(stat.bad_record)});
+  t.add_row({"stream cut short",
+             stat.truncated ? "truncated" : (stat.oversized ? "oversized" : "no")});
+  t.add_row({"wire bytes", Table::num(stat.wire_bytes)});
+  if (stat.records > 0) {
+    t.add_row({"time span (s)",
+               Table::num(static_cast<double>(stat.last_time_us - stat.first_time_us) /
+                              1e6, 2)});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  return 0;
+}
+
 int cmd_model(const Args& args) {
   std::size_t n = args.num("forwarders", 20);
   double marks = args.real("marks", 3.0);
@@ -322,10 +452,10 @@ int cmd_model(const Args& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(
-        stderr,
-        "usage: %s <experiment|campaign|matrix|model|verify|list> [--flag value ...]\n",
-        argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s <experiment|campaign|matrix|model|verify|record|replay|"
+                 "trace-stat|list> [--flag value ...]\n",
+                 argv[0]);
     return 2;
   }
   std::string cmd = argv[1];
@@ -336,6 +466,9 @@ int main(int argc, char** argv) {
   if (cmd == "matrix") return cmd_matrix(args);
   if (cmd == "model") return cmd_model(args);
   if (cmd == "verify") return cmd_verify(args);
+  if (cmd == "record") return cmd_record(args);
+  if (cmd == "replay") return cmd_replay(args);
+  if (cmd == "trace-stat") return cmd_trace_stat(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }

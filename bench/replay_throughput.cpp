@@ -11,10 +11,16 @@
 //   BM_ReplayPipelineNested — same lane, deterministic nested scheme: MAC
 //                        checks only, no anon-ID table; isolates pipeline
 //                        overhead from PNM's verification cost.
+//   BM_MetricsOverhead — the replay lane with span capture live, the number
+//                        the observability layer's <2% budget is judged on.
+//                        Build twice (-DPNM_METRICS=ON/OFF) and compare the
+//                        records_per_s pairs; `metrics_compiled` labels which
+//                        build a result came from.
+//   BM_CounterAdd / BM_HistogramRecord — raw primitive cost, for context.
 //
 // The trace is built once in memory (a recorded campaign would do equally;
 // the bytes are identical), replayed from a fresh istringstream per
-// iteration. Counters are dumped as one JSON line at exit, like
+// iteration. The registry is scraped as one JSON line at exit, like
 // sink_throughput.
 #include <benchmark/benchmark.h>
 
@@ -27,11 +33,12 @@
 #include "net/report.h"
 #include "net/topology.h"
 #include "net/wire.h"
+#include "obs/exposition.h"
+#include "obs/span.h"
 #include "sink/batch_verifier.h"
 #include "sink/traceback.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
-#include "util/counters.h"
 #include "util/rng.h"
 
 namespace {
@@ -161,6 +168,41 @@ void BM_ReplayPipelineNested(benchmark::State& state) {
 }
 BENCHMARK(BM_ReplayPipelineNested)->Arg(1)->Arg(4)->UseRealTime();
 
+// The overhead-budget probe: the same replay lane as BM_ReplayPipeline but
+// with span capture enabled, so every instrument in the hot path (counter
+// adds, histogram records, gauge sets, span clock reads) is live. Run under
+// both -DPNM_METRICS=ON and OFF; the acceptance bar is <2% throughput delta.
+void BM_MetricsOverhead(benchmark::State& state) {
+  pnm::obs::SpanCollector::global().enable();
+  replay_pipeline_bench(state, pnm::marking::SchemeKind::kPnm,
+                        pnm::sink::BatchStrategy::kExhaustive);
+  pnm::obs::SpanCollector::global().disable();
+  state.counters["metrics_compiled"] = pnm::obs::kMetricsEnabled ? 1 : 0;
+}
+BENCHMARK(BM_MetricsOverhead)->Arg(1)->Arg(4)->UseRealTime();
+
+// Primitive costs, for context when reading the overhead numbers.
+void BM_CounterAdd(benchmark::State& state) {
+  pnm::obs::MetricsRegistry reg;
+  pnm::obs::Counter& c = reg.counter("bench_counter");
+  for (auto _ : state) c.add();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  pnm::obs::MetricsRegistry reg;
+  pnm::obs::Histogram& h = reg.histogram("bench_histogram");
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 2862933555777941757ULL + 3037000493ULL;  // cheap LCG spread
+    v &= 0xffff;
+  }
+  benchmark::DoNotOptimize(h.snapshot().count);
+}
+BENCHMARK(BM_HistogramRecord);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,6 +210,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  std::printf("counters: %s\n", pnm::util::Counters::global().to_json().c_str());
+  std::printf("metrics: %s\n",
+              pnm::obs::to_json(pnm::obs::MetricsRegistry::global().scrape()).c_str());
   return 0;
 }

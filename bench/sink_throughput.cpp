@@ -16,9 +16,11 @@
 //   BM_BatchVerifyScoped — same sweep through the §7 scoped search with the
 //                          sharded PRF memo cache.
 //
-// After the benchmark run, util::Counters::global() is dumped as one JSON
-// line ("counters: {...}") so CI and scripts can scrape PRF/MAC/cache totals
-// and batch latency percentiles.
+// After the benchmark run, the global metrics registry is scraped and dumped
+// as one JSON line ("metrics: {...}") so CI and scripts can scrape PRF/MAC/
+// cache totals, batch latency percentiles and the per-strategy packet
+// histograms — everything util::Counters used to report plus the registry's
+// newer instruments.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -29,9 +31,9 @@
 #include "marking/scheme.h"
 #include "net/report.h"
 #include "net/topology.h"
+#include "obs/exposition.h"
 #include "sink/anon_lookup.h"
 #include "sink/batch_verifier.h"
-#include "util/counters.h"
 #include "util/rng.h"
 
 namespace {
@@ -203,6 +205,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  std::printf("counters: %s\n", pnm::util::Counters::global().to_json().c_str());
+  std::printf("metrics: %s\n",
+              pnm::obs::to_json(pnm::obs::MetricsRegistry::global().scrape()).c_str());
   return 0;
 }

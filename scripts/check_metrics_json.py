@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Validate a JSON metrics export (`pnm ... --metrics-out FILE
+--metrics-format json`) against a golden key set.
+
+Metric *values* are timing-dependent, so CI pins only the shape: the file
+must be valid JSON and its sorted top-level key set must equal the golden
+list (one key per line, # comments allowed). Exit 0 on match, 1 with a diff
+otherwise.
+"""
+import json
+import sys
+
+
+def main(metrics_path, golden_path):
+    with open(metrics_path, encoding="utf-8") as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as e:
+            print(f"{metrics_path}: invalid JSON: {e}", file=sys.stderr)
+            return 1
+    if not isinstance(data, dict):
+        print(f"{metrics_path}: top level is not an object", file=sys.stderr)
+        return 1
+
+    with open(golden_path, encoding="utf-8") as f:
+        want = sorted(
+            line.strip()
+            for line in f
+            if line.strip() and not line.lstrip().startswith("#")
+        )
+    got = sorted(data.keys())
+
+    if got != want:
+        missing = sorted(set(want) - set(got))
+        extra = sorted(set(got) - set(want))
+        for k in missing:
+            print(f"missing metric key: {k}", file=sys.stderr)
+        for k in extra:
+            print(f"unexpected metric key: {k}", file=sys.stderr)
+        print(
+            f"{metrics_path}: key set differs from {golden_path} "
+            f"({len(missing)} missing, {len(extra)} unexpected)",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(f"{metrics_path}: OK ({len(got)} metric keys match {golden_path})")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 3:
+        print(f"usage: {sys.argv[0]} METRICS.json GOLDEN.keys", file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1], sys.argv[2]))

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (v0.0.4) file produced by
+`pnm ... --metrics-out FILE --metrics-format prom`.
+
+Checks:
+  * every non-comment line is `name{labels} value` with a legal metric name;
+  * every sample is preceded by a # TYPE declaration for its family;
+  * the declared type matches the sample shape (counter names end in _total;
+    histograms expose _bucket/_sum/_count);
+  * histogram buckets: le ascending, cumulative counts monotonic, and the
+    +Inf bucket present and equal to _count;
+  * every value parses as a float.
+
+Exit 0 when clean, 1 with a line-numbered report otherwise.
+"""
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(name):
+    """Strip histogram sample suffixes back to the declared family name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_labels(raw):
+    labels = {}
+    if not raw:
+        return labels
+    for part in raw.split(","):
+        m = LABEL_RE.match(part.strip())
+        if not m:
+            return None
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def le_key(le):
+    return float("inf") if le == "+Inf" else float(le)
+
+
+def main(path):
+    errors = []
+    types = {}  # family -> declared type
+    hist_buckets = {}  # family -> list of (le, cumulative)
+    hist_counts = {}  # family -> value of _count
+
+    with open(path, encoding="utf-8") as f:
+        lines = f.read().splitlines()
+
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"{lineno}: malformed TYPE line: {line!r}")
+                    continue
+                _, _, family, mtype = parts
+                if not NAME_RE.match(family):
+                    errors.append(f"{lineno}: illegal metric name {family!r}")
+                if mtype not in VALID_TYPES:
+                    errors.append(f"{lineno}: unknown metric type {mtype!r}")
+                if family in types:
+                    errors.append(f"{lineno}: duplicate TYPE for {family!r}")
+                types[family] = mtype
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{lineno}: unparseable sample line: {line!r}")
+            continue
+        name, raw_labels, value = m.group("name"), m.group("labels"), m.group("value")
+        if not NAME_RE.match(name):
+            errors.append(f"{lineno}: illegal metric name {name!r}")
+        labels = parse_labels(raw_labels)
+        if labels is None:
+            errors.append(f"{lineno}: malformed labels {raw_labels!r}")
+            continue
+        try:
+            float(value)
+        except ValueError:
+            errors.append(f"{lineno}: non-numeric value {value!r}")
+            continue
+
+        family = base_family(name)
+        declared = types.get(family) or types.get(name)
+        if declared is None:
+            errors.append(f"{lineno}: sample {name!r} has no preceding # TYPE")
+            continue
+        if declared == "counter" and not name.endswith("_total"):
+            errors.append(f"{lineno}: counter sample {name!r} missing _total suffix")
+        if declared == "histogram":
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"{lineno}: histogram bucket without le label")
+                    continue
+                try:
+                    le = le_key(labels["le"])
+                except ValueError:
+                    errors.append(f"{lineno}: bad le value {labels['le']!r}")
+                    continue
+                hist_buckets.setdefault(family, []).append((lineno, le, float(value)))
+            elif name.endswith("_count"):
+                hist_counts[family] = (lineno, float(value))
+            elif not name.endswith("_sum"):
+                errors.append(
+                    f"{lineno}: unexpected histogram sample {name!r} "
+                    "(want _bucket/_sum/_count)"
+                )
+
+    for family, buckets in hist_buckets.items():
+        les = [le for _, le, _ in buckets]
+        counts = [c for _, _, c in buckets]
+        if les != sorted(les):
+            errors.append(f"histogram {family}: le values not ascending")
+        if counts != sorted(counts):
+            errors.append(f"histogram {family}: cumulative counts not monotonic")
+        if not les or les[-1] != float("inf"):
+            errors.append(f"histogram {family}: missing +Inf bucket")
+        elif family in hist_counts and counts[-1] != hist_counts[family][1]:
+            errors.append(
+                f"histogram {family}: +Inf bucket {counts[-1]} != _count "
+                f"{hist_counts[family][1]}"
+            )
+        if family not in hist_counts:
+            errors.append(f"histogram {family}: missing _count sample")
+
+    if errors:
+        for e in errors:
+            print(f"{path}:{e}", file=sys.stderr)
+        return 1
+    n_hist = len(hist_buckets)
+    print(f"{path}: OK ({len(types)} families, {n_hist} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} METRICS.prom", file=sys.stderr)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1]))

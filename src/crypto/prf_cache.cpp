@@ -61,8 +61,12 @@ Bytes PrfCache::get_or_compute(std::uint64_t report_key, NodeId node, ByteView n
   Bytes anon = anon_id(node_key, report, node, anon_len);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.map.size() >= max_entries_per_shard_) shard.map.clear();
-    shard.map.emplace(key, anon);
+    if (shard.map.size() >= max_entries_per_shard_) {
+      if (entries_gauge_)
+        entries_gauge_->add(-static_cast<std::int64_t>(shard.map.size()));
+      shard.map.clear();
+    }
+    if (shard.map.emplace(key, anon).second && entries_gauge_) entries_gauge_->add(1);
   }
   return anon;
 }
@@ -89,8 +93,12 @@ Bytes PrfCache::get_or_compute(std::uint64_t report_key, NodeId node,
   Bytes anon = anon_id(node_key, report, node, anon_len);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
-    if (shard.map.size() >= max_entries_per_shard_) shard.map.clear();
-    shard.map.emplace(key, anon);
+    if (shard.map.size() >= max_entries_per_shard_) {
+      if (entries_gauge_)
+        entries_gauge_->add(-static_cast<std::int64_t>(shard.map.size()));
+      shard.map.clear();
+    }
+    if (shard.map.emplace(key, anon).second && entries_gauge_) entries_gauge_->add(1);
   }
   return anon;
 }
@@ -107,6 +115,8 @@ std::size_t PrfCache::size() const {
 void PrfCache::clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
+    if (entries_gauge_)
+      entries_gauge_->add(-static_cast<std::int64_t>(shard->map.size()));
     shard->map.clear();
   }
 }

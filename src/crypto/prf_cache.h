@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "crypto/hmac.h"
+#include "obs/metrics.h"
 #include "util/bytes.h"
 #include "util/counters.h"
 #include "util/ids.h"
@@ -26,6 +27,11 @@ namespace pnm::crypto {
 class PrfCache {
  public:
   explicit PrfCache(std::size_t shards = 16, std::size_t max_entries_per_shard = 1 << 15);
+
+  /// Keep `gauge` equal to the live entry count (+1 per insert, bulk
+  /// subtract on epoch flush / clear). Hit *ratio* is derived downstream
+  /// from the kCacheHits / kCacheMisses counters this cache already meters.
+  void bind_entries_gauge(obs::Gauge* gauge) { entries_gauge_ = gauge; }
 
   /// Stable 64-bit digest of a report; compute once per packet and pass to
   /// every get_or_compute call for that packet.
@@ -57,6 +63,7 @@ class PrfCache {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::size_t max_entries_per_shard_;
+  obs::Gauge* entries_gauge_ = nullptr;
 };
 
 }  // namespace pnm::crypto

@@ -63,6 +63,12 @@ class BoundedQueue {
 
   std::size_t capacity() const { return capacity_; }
 
+  /// Items currently buffered (racy by nature; the queue-depth gauge).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
   /// Deepest the queue ever got — the backpressure telemetry.
   std::size_t high_water() const {
     std::lock_guard<std::mutex> lock(mu_);

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "net/wire.h"
+#include "obs/span.h"
 
 namespace pnm::ingest {
 
@@ -13,6 +14,8 @@ Pipeline::Pipeline(sink::BatchVerifier& verifier, sink::TracebackEngine* traceba
       traceback_(traceback),
       cfg_(cfg),
       counters_(counters ? counters : &verifier.counters()),
+      queue_depth_(&counters_->registry().gauge("ingest_queue_depth")),
+      batch_fold_us_(&counters_->registry().histogram("ingest_batch_fold_us")),
       queue_(cfg.queue_capacity) {
   if (cfg_.batch_size == 0) cfg_.batch_size = 64;
 }
@@ -24,6 +27,9 @@ bool Pipeline::push(net::Packet&& p, double time_s) {
 void Pipeline::close() { queue_.close(); }
 
 void Pipeline::fold_batch(std::vector<Item>& items) {
+  PNM_SPAN("ingest_fold_batch");
+  std::chrono::steady_clock::time_point t0;
+  if constexpr (obs::kMetricsEnabled) t0 = std::chrono::steady_clock::now();
   std::vector<net::Packet> packets;
   packets.reserve(items.size());
   for (Item& it : items) packets.push_back(std::move(it.packet));
@@ -52,13 +58,20 @@ void Pipeline::fold_batch(std::vector<Item>& items) {
   }
   stats_.records += packets.size();
   counters_->add(util::Metric::kIngestRecords, packets.size());
+  if constexpr (obs::kMetricsEnabled) {
+    auto t1 = std::chrono::steady_clock::now();
+    batch_fold_us_->record_us(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
 }
 
 void Pipeline::run() {
+  PNM_SPAN("pipeline_run");
   auto t0 = std::chrono::steady_clock::now();
   std::vector<Item> batch;
   batch.reserve(cfg_.batch_size);
   while (queue_.pop_up_to(cfg_.batch_size, batch)) {
+    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
     fold_batch(batch);
     batch.clear();
   }
@@ -72,11 +85,14 @@ void Pipeline::run() {
 }
 
 PipelineStats Pipeline::run_from_trace(trace::TraceReader& reader) {
+  // The reader meters its own per-record outcomes (records read, CRC and
+  // structural-decode errors); the producer loop only accounts for failures
+  // it detects itself (wire images the packet decoder rejects).
+  reader.meter_into(counters_);
   std::thread producer([&] {
     while (auto outcome = reader.next()) {
       switch (outcome->status) {
         case trace::ReadStatus::kRecord: {
-          counters_->add(util::Metric::kTraceRecordsRead);
           auto packet = net::decode_packet(outcome->record.wire);
           if (!packet) {
             ++stats_.decode_failures;
@@ -89,11 +105,9 @@ PipelineStats Pipeline::run_from_trace(trace::TraceReader& reader) {
         }
         case trace::ReadStatus::kBadCrc:
           ++stats_.crc_failures;
-          counters_->add(util::Metric::kTraceCrcErrors);
           break;
         case trace::ReadStatus::kBadRecord:
           ++stats_.bad_records;
-          counters_->add(util::Metric::kTraceDecodeErrors);
           break;
         case trace::ReadStatus::kTruncated:
           stats_.truncated = true;

@@ -14,7 +14,10 @@
 // gives a determinism fingerprint: two replays of the same trace must agree
 // byte-for-byte, serial or parallel (tests/ingest_test.cpp asserts this).
 // util::Counters meters records, decode/CRC failures and the queue's
-// high-water depth.
+// high-water depth; the backing registry additionally carries an
+// `ingest_queue_depth` gauge (sampled after each drain) and an
+// `ingest_batch_fold_us` histogram (verify + fold latency per batch), and
+// the consumer loop is wrapped in PNM_SPAN scopes for --span-trace.
 #pragma once
 
 #include <string>
@@ -92,6 +95,8 @@ class Pipeline {
   sink::TracebackEngine* traceback_;
   PipelineConfig cfg_;
   util::Counters* counters_;
+  obs::Gauge* queue_depth_;       ///< ingest_queue_depth, sampled per drain
+  obs::Histogram* batch_fold_us_; ///< ingest_batch_fold_us
   BoundedQueue<Item> queue_;
   PipelineStats stats_;
   crypto::Sha256 digest_;

@@ -59,6 +59,7 @@ ReplayResult replay_trace(trace::TraceReader& reader, const ReplayOptions& opts)
     bcfg.strategy = sink::BatchStrategy::kScoped;
   sink::BatchVerifier verifier(*scheme, keys, bcfg, &topo, counters);
   sink::TracebackEngine engine(*scheme, keys, topo);
+  engine.bind_metrics(counters->registry());
 
   PipelineConfig pcfg;
   pcfg.batch_size = opts.batch_size;

@@ -2,9 +2,23 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "util/log.h"
 
 namespace pnm::net {
+
+namespace {
+// Radio-layer delivery telemetry on the global registry. Cached references:
+// the registry lookup happens once, the per-packet cost is one relaxed add.
+obs::Counter& sim_delivered_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("sim_packets_delivered");
+  return c;
+}
+obs::Counter& sim_lost_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("sim_packets_lost");
+  return c;
+}
+}  // namespace
 
 Simulator::Simulator(const Topology& topo, const RoutingTable& routing, LinkModel link,
                      EnergyModel energy, std::uint64_t seed)
@@ -66,6 +80,7 @@ void Simulator::pump_tx(NodeId from) {
 
   if (!link_.delivers(rng_)) {
     ++packets_lost_;
+    sim_lost_counter().add();
     return;
   }
   NodeId to = tx.to;
@@ -81,6 +96,7 @@ void Simulator::arrive(NodeId at, NodeId from, Packet packet) {
 
   if (at == kSinkId) {
     ++packets_delivered_;
+    sim_delivered_counter().add();
     if (delivery_tap_) delivery_tap_(packet, now_);
     if (sink_handler_) sink_handler_(std::move(packet), now_);
     return;

@@ -1,0 +1,137 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace pnm::obs {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "pnm_";
+  for (char c : name) {
+    bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const MetricSample& s : snap.samples) {
+    std::string name = prometheus_name(s.name);
+    switch (s.type) {
+      case MetricType::kCounter:
+        out += "# TYPE " + name + "_total counter\n" + name + "_total ";
+        append_u64(out, s.counter);
+        out += '\n';
+        break;
+      case MetricType::kGauge:
+        out += "# TYPE " + name + " gauge\n" + name + " ";
+        append_i64(out, s.gauge);
+        out += '\n';
+        break;
+      case MetricType::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const HistogramSnapshot::Bucket& b : s.hist.buckets) {
+          cumulative += b.count;
+          out += name + "_bucket{le=\"";
+          append_u64(out, b.upper);
+          out += "\"} ";
+          append_u64(out, cumulative);
+          out += '\n';
+        }
+        out += name + "_bucket{le=\"+Inf\"} ";
+        append_u64(out, s.hist.count);
+        out += '\n' + name + "_sum ";
+        append_u64(out, s.hist.sum);
+        out += '\n' + name + "_count ";
+        append_u64(out, s.hist.count);
+        out += '\n';
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::string out = "{";
+  char buf[160];
+  bool first = true;
+  for (const MetricSample& s : snap.samples) {
+    if (!first) out += ',';
+    first = false;
+    switch (s.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), "\"%s\":%llu", s.name.c_str(),
+                      static_cast<unsigned long long>(s.counter));
+        out += buf;
+        break;
+      case MetricType::kGauge:
+        std::snprintf(buf, sizeof(buf), "\"%s\":%lld", s.name.c_str(),
+                      static_cast<long long>(s.gauge));
+        out += buf;
+        break;
+      case MetricType::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      "\"%s\":{\"count\":%llu,\"sum\":%llu,\"max\":%llu,"
+                      "\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f}",
+                      s.name.c_str(), static_cast<unsigned long long>(s.hist.count),
+                      static_cast<unsigned long long>(s.hist.sum),
+                      static_cast<unsigned long long>(s.hist.max),
+                      s.hist.percentile(0.50), s.hist.percentile(0.90),
+                      s.hist.percentile(0.99));
+        out += buf;
+        break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+Reporter::Reporter(MetricsRegistry& registry, std::chrono::milliseconds interval,
+                   Callback callback)
+    : registry_(registry),
+      interval_(interval.count() > 0 ? interval : std::chrono::milliseconds(1)),
+      callback_(std::move(callback)) {
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+      lock.unlock();
+      callback_(registry_.scrape());
+      lock.lock();
+    }
+  });
+}
+
+Reporter::~Reporter() { stop(); }
+
+void Reporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  callback_(registry_.scrape());  // final scrape so short runs still report
+}
+
+}  // namespace pnm::obs

@@ -1,0 +1,61 @@
+// Pull-based exposition of a MetricsSnapshot in two formats:
+//
+//   * Prometheus text (v0.0.4): names sanitized and prefixed "pnm_",
+//     counters suffixed "_total", histograms emitted as sparse cumulative
+//     le-buckets + _sum/_count. scripts/check_prom.py lints the output.
+//   * One-line JSON in registration order — the machine-readable twin of
+//     util::Counters::to_json(), extended with every registered instrument.
+//
+// Plus an optional periodic Reporter thread that scrapes a registry on a
+// fixed interval and hands the snapshot to a callback (the CLI wires it to a
+// stderr log line via --metrics-every-ms).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace pnm::obs {
+
+/// Prometheus text exposition of the snapshot.
+std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// One-line JSON object: counters/gauges as numbers, histograms as
+/// {"count","sum","max","p50","p90","p99"} objects. Keys in registration
+/// order (byte-stable for a fixed startup sequence).
+std::string to_json(const MetricsSnapshot& snap);
+
+/// Prometheus-legal metric name: [a-zA-Z_:][a-zA-Z0-9_:]*, "pnm_" prefix.
+std::string prometheus_name(std::string_view name);
+
+/// Scrapes `registry` every `interval` on a background thread and invokes
+/// `callback` with the snapshot; one final scrape fires on stop()/destruction
+/// so short runs still report.
+class Reporter {
+ public:
+  using Callback = std::function<void(const MetricsSnapshot&)>;
+
+  Reporter(MetricsRegistry& registry, std::chrono::milliseconds interval,
+           Callback callback);
+  ~Reporter();
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  /// Idempotent; joins the thread after its final scrape.
+  void stop();
+
+ private:
+  MetricsRegistry& registry_;
+  std::chrono::milliseconds interval_;
+  Callback callback_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pnm::obs

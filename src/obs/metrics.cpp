@@ -1,0 +1,136 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pnm::obs {
+
+std::uint32_t current_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Same rank convention as a sorted-sample percentile: 0-based fractional
+  // rank over count samples, linearly interpolated — here across the bucket's
+  // value span instead of between neighboring samples.
+  double rank = q * static_cast<double>(count - 1);
+  std::uint64_t before = 0;
+  for (const Bucket& b : buckets) {
+    double last_in_bucket = static_cast<double>(before + b.count - 1);
+    if (rank <= last_in_bucket) {
+      double t = b.count <= 1
+                     ? 0.0
+                     : (rank - static_cast<double>(before)) /
+                           static_cast<double>(b.count - 1);
+      return static_cast<double>(b.lower) +
+             t * static_cast<double>(b.upper - b.lower);
+    }
+    before += b.count;
+  }
+  return static_cast<double>(buckets.empty() ? 0 : buckets.back().upper);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    s.buckets.push_back({bucket_lower(i), bucket_upper(i), n});
+    s.count += n;
+  }
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const MetricSample& s : samples)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::intern(std::string_view name,
+                                                MetricType type) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    Entry& e = entries_[it->second];
+    if (e.type != type)
+      throw std::logic_error("metric '" + e.name + "' re-registered as a different type");
+    return e;
+  }
+  Entry e;
+  e.name = std::string(name);
+  e.type = type;
+  switch (type) {
+    case MetricType::kCounter: e.c = std::make_unique<Counter>(); break;
+    case MetricType::kGauge: e.g = std::make_unique<Gauge>(); break;
+    case MetricType::kHistogram: e.h = std::make_unique<Histogram>(); break;
+  }
+  index_.emplace(e.name, entries_.size());
+  entries_.push_back(std::move(e));
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *intern(name, MetricType::kCounter).c;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *intern(name, MetricType::kGauge).g;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *intern(name, MetricType::kHistogram).h;
+}
+
+MetricsSnapshot MetricsRegistry::scrape() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    MetricSample s;
+    s.name = e.name;
+    s.type = e.type;
+    switch (e.type) {
+      case MetricType::kCounter: s.counter = e.c->value(); break;
+      case MetricType::kGauge: s.gauge = e.g->value(); break;
+      case MetricType::kHistogram: s.hist = e.h->snapshot(); break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& e : entries_) {
+    switch (e.type) {
+      case MetricType::kCounter: e.c->reset(); break;
+      case MetricType::kGauge: e.g->reset(); break;
+      case MetricType::kHistogram: e.h->reset(); break;
+    }
+  }
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+}  // namespace pnm::obs

@@ -1,0 +1,230 @@
+// Unified observability core: a string-interned metrics registry of
+// counters, gauges and log-bucketed histograms, shared by every layer of the
+// verification pipeline (simulator delivery, trace reader, ingest queue,
+// batch verifier, PRF cache, traceback engine).
+//
+// Design points:
+//   * Counters stripe increments across cache-line-padded per-thread cells
+//     (folded on scrape), so thread-pool workers never contend on one line.
+//   * Histograms are HDR-style: power-of-two octaves subdivided into 16
+//     linear sub-buckets (<= 6.25% relative error), every operation a relaxed
+//     atomic — no mutex, no allocation on the hot path.
+//   * The registry interns names; registering the same name twice returns
+//     the same instrument, so independent layers can share a metric safely.
+//   * Compile-time kill switch: build with -DPNM_METRICS=0 and every
+//     recording operation compiles to a no-op (the registry and exposition
+//     still link; values read as zero). bench/replay_throughput's
+//     BM_MetricsOverhead measures the enabled-vs-disabled delta.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#ifndef PNM_METRICS
+#define PNM_METRICS 1
+#endif
+
+namespace pnm::obs {
+
+/// True when the instrumentation layer is compiled in (PNM_METRICS != 0).
+inline constexpr bool kMetricsEnabled = PNM_METRICS != 0;
+
+/// Small sequential id for the calling thread (1, 2, 3, ... in first-use
+/// order). Used for counter-cell striping, span events and JSON log lines.
+std::uint32_t current_thread_id();
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Monotonic counter, increments striped across padded per-thread cells.
+class Counter {
+ public:
+  static constexpr std::size_t kCells = 16;
+
+  void add(std::uint64_t delta = 1) {
+    if constexpr (!kMetricsEnabled) {
+      (void)delta;
+      return;
+    }
+    cells_[(current_thread_id() - 1) % kCells].v.fetch_add(delta,
+                                                           std::memory_order_relaxed);
+  }
+
+  /// Fold of all cells. Approximate while writers are active, exact after.
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kCells> cells_{};
+};
+
+/// Point-in-time signed value (queue depths, cache occupancy, ratios).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    if constexpr (kMetricsEnabled) v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) {
+    if constexpr (kMetricsEnabled) v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  /// Lock-free running maximum (high-water marks).
+  void update_max(std::int64_t v) {
+    if constexpr (!kMetricsEnabled) return;
+    std::int64_t cur = v_.load(std::memory_order_relaxed);
+    while (cur < v && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Read-only fold of one histogram: sparse non-empty buckets in ascending
+/// value order, plus exact count/sum/max.
+struct HistogramSnapshot {
+  struct Bucket {
+    std::uint64_t lower = 0;  ///< smallest value the bucket admits
+    std::uint64_t upper = 0;  ///< largest value the bucket admits (inclusive)
+    std::uint64_t count = 0;
+  };
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::vector<Bucket> buckets;
+
+  /// Rank-interpolated percentile estimate, q in [0, 1]. Exact for values
+  /// < 16; within one sub-bucket (6.25% relative) above.
+  double percentile(double q) const;
+};
+
+/// Lock-free log-bucketed histogram over non-negative integer values
+/// (microseconds by convention). 16 exact unit buckets, then 16 linear
+/// sub-buckets per power-of-two octave.
+class Histogram {
+ public:
+  static constexpr std::size_t kSubBits = 4;
+  static constexpr std::size_t kSub = std::size_t{1} << kSubBits;  // 16
+  static constexpr std::size_t kBucketCount = 40 * kSub;  // values past ~2^42 clamp
+
+  void record(std::uint64_t v) {
+    if constexpr (!kMetricsEnabled) {
+      (void)v;
+      return;
+    }
+    buckets_[index_for(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (cur < v && !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Convenience for latency instrumentation: rounds, clamps negatives to 0.
+  void record_us(double us) {
+    record(us <= 0.0 ? 0 : static_cast<std::uint64_t>(us + 0.5));
+  }
+
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  static std::size_t index_for(std::uint64_t v) {
+    if (v < kSub) return static_cast<std::size_t>(v);
+    std::size_t octave = static_cast<std::size_t>(std::bit_width(v)) - kSubBits;
+    std::size_t idx =
+        octave * kSub + static_cast<std::size_t>((v >> (octave - 1)) - kSub);
+    return idx < kBucketCount ? idx : kBucketCount - 1;
+  }
+  static std::uint64_t bucket_lower(std::size_t idx) {
+    if (idx < kSub) return idx;
+    return static_cast<std::uint64_t>(kSub + idx % kSub) << (idx / kSub - 1);
+  }
+  static std::uint64_t bucket_upper(std::size_t idx) {
+    if (idx < kSub) return idx;
+    return bucket_lower(idx) + ((std::uint64_t{1} << (idx / kSub - 1)) - 1);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// One scraped metric, in registration order.
+struct MetricSample {
+  std::string name;
+  MetricType type = MetricType::kCounter;
+  std::uint64_t counter = 0;  ///< kCounter
+  std::int64_t gauge = 0;     ///< kGauge
+  HistogramSnapshot hist;     ///< kHistogram
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+  /// Null when `name` was never registered.
+  const MetricSample* find(std::string_view name) const;
+};
+
+/// String-interned instrument registry. Registration is mutex-guarded (cold
+/// path: instruments are registered once, at construction time of whatever
+/// layer owns them); the returned references stay valid for the registry's
+/// lifetime and all recording on them is lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Intern `name` as the given instrument type. Re-registering an existing
+  /// name returns the same instrument; a type conflict throws
+  /// std::logic_error.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Fold every instrument into a consistent-enough snapshot (relaxed reads;
+  /// exact once writers are quiescent), in registration order.
+  MetricsSnapshot scrape() const;
+
+  /// Zero every instrument (tests and between-run isolation).
+  void reset();
+
+  std::size_t size() const;
+
+  /// Process-wide registry: what util::Counters::global() and the CLI's
+  /// --metrics-out scrape feed from.
+  static MetricsRegistry& global();
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricType type;
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<Gauge> g;
+    std::unique_ptr<Histogram> h;
+  };
+  Entry& intern(std::string_view name, MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace pnm::obs

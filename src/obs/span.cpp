@@ -1,0 +1,112 @@
+#include "obs/span.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace pnm::obs {
+
+namespace {
+thread_local std::uint32_t tls_span_depth = 0;
+}  // namespace
+
+std::uint64_t steady_now_us() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now() - t0)
+                                        .count());
+}
+
+SpanCollector& SpanCollector::global() {
+  static SpanCollector* instance = new SpanCollector();  // never destroyed
+  return *instance;
+}
+
+void SpanCollector::enable(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity == 0) capacity = 1;
+  if (capacity_ != capacity) {
+    ring_.assign(capacity, SpanEvent{});
+    capacity_ = capacity;
+    next_ = 0;
+    total_ = 0;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void SpanCollector::disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+void SpanCollector::record(const char* name, std::uint64_t start_us,
+                           std::uint64_t dur_us, std::uint32_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return;
+  ring_[next_] = SpanEvent{name, current_thread_id(), depth, start_us, dur_us};
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<SpanEvent> SpanCollector::snapshot() const {
+  std::vector<SpanEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t retained = std::min<std::uint64_t>(total_, capacity_);
+    out.reserve(retained);
+    // Oldest retained span sits at next_ once the ring has wrapped.
+    std::size_t start = total_ > capacity_ ? next_ : 0;
+    for (std::size_t i = 0; i < retained; ++i)
+      out.push_back(ring_[(start + i) % capacity_]);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    return a.start_us < b.start_us;
+  });
+  return out;
+}
+
+std::uint64_t SpanCollector::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t SpanCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+void SpanCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string SpanCollector::chrome_trace_json() const {
+  std::vector<SpanEvent> events = snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[192];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"cat\":\"pnm\",\"ph\":\"X\",\"pid\":1,"
+                  "\"tid\":%u,\"ts\":%llu,\"dur\":%llu,\"args\":{\"depth\":%u}}",
+                  i == 0 ? "" : ",", e.name ? e.name : "?", e.tid,
+                  static_cast<unsigned long long>(e.start_us),
+                  static_cast<unsigned long long>(e.dur_us), e.depth);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : name_(name) {
+  if (!SpanCollector::global().enabled()) return;
+  active_ = true;
+  depth_ = tls_span_depth++;
+  start_us_ = steady_now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --tls_span_depth;
+  SpanCollector::global().record(name_, start_us_, steady_now_us() - start_us_, depth_);
+}
+
+}  // namespace pnm::obs

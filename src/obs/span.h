@@ -1,0 +1,95 @@
+// Scoped span tracing: RAII timers over pipeline stages, recorded into a
+// bounded ring and exported as Chrome trace-event JSON (the "X" complete
+// events Perfetto / chrome://tracing load directly).
+//
+//   PNM_SPAN("verify_batch");          // times the enclosing scope
+//   PNM_SPAN("ingest_fold_batch");     // nests: depth is tracked per thread
+//
+// Collection is off by default: a disabled ScopedSpan costs one relaxed
+// atomic load and no clock read. Enabling (SpanCollector::global().enable())
+// allocates the ring up front; recording then takes a short mutex so
+// concurrent writers and wraparound stay data-race-free under TSan. The ring
+// keeps the most recent `capacity` spans and counts what it overwrote.
+// With -DPNM_METRICS=0 the macro vanishes entirely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pnm::obs {
+
+/// Microseconds since process start on the steady clock (span timebase).
+std::uint64_t steady_now_us();
+
+struct SpanEvent {
+  const char* name = nullptr;  ///< must be a string literal / static storage
+  std::uint32_t tid = 0;       ///< obs::current_thread_id()
+  std::uint32_t depth = 0;     ///< nesting level within the thread, 0 = root
+  std::uint64_t start_us = 0;  ///< steady_now_us() at scope entry
+  std::uint64_t dur_us = 0;
+};
+
+class SpanCollector {
+ public:
+  /// Process-wide collector used by PNM_SPAN.
+  static SpanCollector& global();
+
+  /// Allocate the ring and start accepting spans. Idempotent; a second call
+  /// with a different capacity reallocates an empty ring.
+  void enable(std::size_t capacity = 1 << 14);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void record(const char* name, std::uint64_t start_us, std::uint64_t dur_us,
+              std::uint32_t depth);
+
+  /// Retained spans in chronological (start time) order.
+  std::vector<SpanEvent> snapshot() const;
+
+  /// Spans accepted since enable(), including any the ring overwrote.
+  std::uint64_t recorded() const;
+  /// Spans lost to ring wraparound.
+  std::uint64_t dropped() const;
+
+  void clear();
+
+  /// Chrome trace-event JSON ({"traceEvents":[...]}) of the retained spans.
+  std::string chrome_trace_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::vector<SpanEvent> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// RAII span; use via PNM_SPAN. `name` must outlive the collector (string
+/// literals only).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_us_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace pnm::obs
+
+#define PNM_OBS_CAT2(a, b) a##b
+#define PNM_OBS_CAT(a, b) PNM_OBS_CAT2(a, b)
+#if PNM_METRICS
+#define PNM_SPAN(name) ::pnm::obs::ScopedSpan PNM_OBS_CAT(pnm_span_, __LINE__)(name)
+#else
+#define PNM_SPAN(name) static_cast<void>(0)
+#endif

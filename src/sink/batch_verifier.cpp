@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/span.h"
 #include "sink/scoped_verify.h"
 
 namespace pnm::sink {
@@ -25,10 +26,15 @@ BatchVerifier::BatchVerifier(const marking::MarkingScheme& scheme,
       cfg_(cfg),
       topo_(topo),
       counters_(counters ? counters : &util::Counters::global()),
+      packet_us_(&counters_->registry().histogram(
+          cfg.strategy == BatchStrategy::kScoped ? "verify_packet_us_scoped"
+                                                 : "verify_packet_us_exhaustive")),
+      cache_hit_ratio_ppm_(&counters_->registry().gauge("prf_cache_hit_ratio_ppm")),
       threads_(resolve_threads(cfg.threads)) {
   if (cfg_.strategy == BatchStrategy::kScoped && topo_ == nullptr) {
     throw std::invalid_argument("BatchVerifier: scoped strategy needs a topology");
   }
+  cache_.bind_entries_gauge(&counters_->registry().gauge("prf_cache_entries"));
 }
 
 marking::VerifyResult BatchVerifier::verify_one(const net::Packet& p) {
@@ -41,11 +47,25 @@ marking::VerifyResult BatchVerifier::verify_one(const net::Packet& p) {
 
 std::vector<marking::VerifyResult> BatchVerifier::verify_batch(
     const std::vector<net::Packet>& packets) {
+  PNM_SPAN("verify_batch");
   auto t0 = std::chrono::steady_clock::now();
   std::vector<marking::VerifyResult> results(packets.size());
 
+  // Per-packet verify with a latency sample into the strategy histogram;
+  // compiled down to the bare verify when metrics are off.
+  auto verify_timed = [this, &packets, &results](std::size_t i) {
+    if constexpr (obs::kMetricsEnabled) {
+      auto p0 = std::chrono::steady_clock::now();
+      results[i] = verify_one(packets[i]);
+      auto p1 = std::chrono::steady_clock::now();
+      packet_us_->record_us(std::chrono::duration<double, std::micro>(p1 - p0).count());
+    } else {
+      results[i] = verify_one(packets[i]);
+    }
+  };
+
   if (threads_ <= 1 || packets.size() <= 1) {
-    for (std::size_t i = 0; i < packets.size(); ++i) results[i] = verify_one(packets[i]);
+    for (std::size_t i = 0; i < packets.size(); ++i) verify_timed(i);
   } else {
     if (!pool_) pool_ = std::make_unique<util::ThreadPool>(threads_);
     std::size_t chunk = cfg_.chunk_size;
@@ -56,9 +76,9 @@ std::vector<marking::VerifyResult> BatchVerifier::verify_batch(
     pending.reserve(packets.size() / chunk + 1);
     for (std::size_t begin = 0; begin < packets.size(); begin += chunk) {
       std::size_t end = std::min(begin + chunk, packets.size());
-      pending.push_back(pool_->submit([this, &packets, &results, begin, end] {
+      pending.push_back(pool_->submit([&verify_timed, begin, end] {
         // Disjoint index ranges: workers write results without synchronization.
-        for (std::size_t i = begin; i < end; ++i) results[i] = verify_one(packets[i]);
+        for (std::size_t i = begin; i < end; ++i) verify_timed(i);
       }));
     }
     for (auto& f : pending) f.get();  // rethrows worker exceptions in order
@@ -68,6 +88,14 @@ std::vector<marking::VerifyResult> BatchVerifier::verify_batch(
   counters_->add(util::Metric::kBatches);
   counters_->record_batch_latency_us(
       std::chrono::duration<double, std::micro>(t1 - t0).count());
+  if constexpr (obs::kMetricsEnabled) {
+    std::uint64_t hits = counters_->get(util::Metric::kCacheHits);
+    std::uint64_t misses = counters_->get(util::Metric::kCacheMisses);
+    if (hits + misses > 0) {
+      cache_hit_ratio_ppm_->set(
+          static_cast<std::int64_t>(hits * 1000000 / (hits + misses)));
+    }
+  }
   return results;
 }
 

@@ -57,7 +57,9 @@ class BatchVerifier {
 
   /// Verify every packet; results[i] corresponds to packets[i]. Worker
   /// exceptions propagate to the caller. Also records one batch-latency
-  /// sample and bumps kBatches / kPacketsVerified.
+  /// sample, a per-packet latency sample into the strategy's histogram
+  /// (`verify_packet_us_exhaustive` / `verify_packet_us_scoped`), refreshes
+  /// the PRF-cache gauges, and bumps kBatches / kPacketsVerified.
   std::vector<marking::VerifyResult> verify_batch(
       const std::vector<net::Packet>& packets);
 
@@ -74,6 +76,8 @@ class BatchVerifier {
   BatchVerifierConfig cfg_;
   const net::Topology* topo_;
   util::Counters* counters_;
+  obs::Histogram* packet_us_;        ///< per-packet verify latency, per strategy
+  obs::Gauge* cache_hit_ratio_ppm_;  ///< hits/(hits+misses) in parts-per-million
   crypto::PrfCache cache_;
   std::size_t threads_;
   std::unique_ptr<util::ThreadPool> pool_;  // created lazily, only if threads_ > 1

@@ -32,9 +32,20 @@ void TracebackEngine::fold(const net::Packet& p, const marking::VerifyResult& vr
     bool changed = next.identified != current_.identified ||
                    next.stop_node != current_.stop_node ||
                    next.via_loop != current_.via_loop;
-    if (changed) last_status_change_packet_ = packets_;
+    if (changed) {
+      last_status_change_packet_ = packets_;
+      if (next.identified && packets_to_accusation_) {
+        packets_to_accusation_->record(packets_);
+        accusations_->add();
+      }
+    }
     current_ = std::move(next);
   }
+}
+
+void TracebackEngine::bind_metrics(obs::MetricsRegistry& registry) {
+  packets_to_accusation_ = &registry.histogram("traceback_packets_to_accusation");
+  accusations_ = &registry.counter("traceback_accusations");
 }
 
 std::optional<std::size_t> TracebackEngine::packets_to_identification() const {

@@ -17,6 +17,7 @@
 #include "crypto/keys.h"
 #include "marking/scheme.h"
 #include "net/topology.h"
+#include "obs/metrics.h"
 #include "sink/order_matrix.h"
 #include "sink/route_reconstruct.h"
 
@@ -34,6 +35,13 @@ class TracebackEngine {
   /// batch engine): identical graph/analysis updates to ingest(), without
   /// re-verifying. `vr` must be the scheme's verdict for `p`.
   void fold(const net::Packet& p, const marking::VerifyResult& vr);
+
+  /// Register accusation metrics on `registry`: every time the analysis
+  /// reaches (or revises) an identification, the packet count it took lands
+  /// in the `traceback_packets_to_accusation` histogram and
+  /// `traceback_accusations` is bumped — the paper's Fig. 7 distribution as
+  /// a live metric. Optional; unbound engines record nothing.
+  void bind_metrics(obs::MetricsRegistry& registry);
 
   /// Route analysis as of the last ingested packet.
   const RouteAnalysis& analysis() const { return current_; }
@@ -71,6 +79,8 @@ class TracebackEngine {
   std::set<NodeId> markers_seen_;
   NodeId last_delivered_by_ = kInvalidNode;
   std::size_t last_status_change_packet_ = 0;
+  obs::Histogram* packets_to_accusation_ = nullptr;
+  obs::Counter* accusations_ = nullptr;
 };
 
 }  // namespace pnm::sink

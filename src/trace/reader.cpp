@@ -125,10 +125,17 @@ std::optional<ReadOutcome> TraceReader::next() {
     return ReadOutcome{ReadStatus::kTruncated, {}};
   }
 
-  if (util::crc32(payload) != stored_crc) return ReadOutcome{ReadStatus::kBadCrc, {}};
+  if (util::crc32(payload) != stored_crc) {
+    if (counters_) counters_->add(util::Metric::kTraceCrcErrors);
+    return ReadOutcome{ReadStatus::kBadCrc, {}};
+  }
 
   auto record = TraceRecord::decode(payload);
-  if (!record) return ReadOutcome{ReadStatus::kBadRecord, {}};
+  if (!record) {
+    if (counters_) counters_->add(util::Metric::kTraceDecodeErrors);
+    return ReadOutcome{ReadStatus::kBadRecord, {}};
+  }
+  if (counters_) counters_->add(util::Metric::kTraceRecordsRead);
   return ReadOutcome{ReadStatus::kRecord, std::move(*record)};
 }
 

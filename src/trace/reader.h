@@ -23,6 +23,7 @@
 #include <string>
 
 #include "trace/format.h"
+#include "util/counters.h"
 
 namespace pnm::trace {
 
@@ -71,6 +72,12 @@ class TraceReader {
   const TraceMeta& meta() const { return meta_; }
   std::uint16_t version() const { return version_; }
 
+  /// Meter per-record outcomes (kTraceRecordsRead / kTraceCrcErrors /
+  /// kTraceDecodeErrors) into `counters` as next() produces them; null
+  /// detaches. The ingest pipeline and `pnm trace-stat` attach here so CRC
+  /// and decode failures are attributed at the layer that detected them.
+  void meter_into(util::Counters* counters) { counters_ = counters; }
+
   /// Next outcome, or nullopt at clean end-of-stream. After a fatal outcome
   /// (or on an invalid reader) always returns nullopt.
   std::optional<ReadOutcome> next();
@@ -95,6 +102,7 @@ class TraceReader {
   TraceMeta meta_;
   std::uint16_t version_ = 0;
   std::streampos first_record_pos_{};
+  util::Counters* counters_ = nullptr;
 };
 
 }  // namespace pnm::trace

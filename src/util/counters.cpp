@@ -1,6 +1,5 @@
 #include "util/counters.h"
 
-#include <algorithm>
 #include <cstdio>
 
 namespace pnm::util {
@@ -23,44 +22,41 @@ const char* metric_name(Metric m) {
   return "unknown";
 }
 
-void Counters::record_batch_latency_us(double us) {
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  latencies_us_.push_back(us);
+Counters::Counters() : owned_(std::make_unique<obs::MetricsRegistry>()) {
+  registry_ = owned_.get();
+  bind();
 }
 
-namespace {
-double percentile_sorted(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  double rank = q * static_cast<double>(sorted.size() - 1);
-  std::size_t lo = static_cast<std::size_t>(rank);
-  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  double frac = rank - static_cast<double>(lo);
-  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+Counters::Counters(obs::MetricsRegistry& registry) : registry_(&registry) { bind(); }
+
+void Counters::bind() {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Metric::kMetricCount); ++i) {
+    Metric m = static_cast<Metric>(i);
+    if (m == Metric::kIngestQueueHighWater) continue;
+    slots_[i] = &registry_->counter(metric_name(m));
+  }
+  queue_high_water_ = &registry_->gauge(metric_name(Metric::kIngestQueueHighWater));
+  batch_latency_ = &registry_->histogram("batch_latency_us");
 }
-}  // namespace
 
 LatencySummary Counters::latency_summary() const {
-  std::vector<double> sorted;
-  {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    sorted = latencies_us_;
-  }
-  std::sort(sorted.begin(), sorted.end());
+  obs::HistogramSnapshot h = batch_latency_->snapshot();
   LatencySummary s;
-  s.count = sorted.size();
-  if (!sorted.empty()) {
-    s.p50_us = percentile_sorted(sorted, 0.50);
-    s.p90_us = percentile_sorted(sorted, 0.90);
-    s.p99_us = percentile_sorted(sorted, 0.99);
-    s.max_us = sorted.back();
+  s.count = static_cast<std::size_t>(h.count);
+  if (h.count > 0) {
+    s.p50_us = h.percentile(0.50);
+    s.p90_us = h.percentile(0.90);
+    s.p99_us = h.percentile(0.99);
+    s.max_us = static_cast<double>(h.max);
   }
   return s;
 }
 
 void Counters::reset() {
-  for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  latencies_us_.clear();
+  for (obs::Counter* c : slots_)
+    if (c) c->reset();
+  queue_high_water_->reset();
+  batch_latency_->reset();
 }
 
 std::string Counters::to_json() const {
@@ -82,8 +78,8 @@ std::string Counters::to_json() const {
 }
 
 Counters& Counters::global() {
-  static Counters instance;
-  return instance;
+  static Counters* instance = new Counters(obs::MetricsRegistry::global());
+  return *instance;
 }
 
 }  // namespace pnm::util

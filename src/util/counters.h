@@ -1,19 +1,22 @@
-// Lightweight metrics layer for the sink's verification pipeline.
+// Legacy metrics facade for the sink's verification pipeline — now a
+// compatibility shim over obs::MetricsRegistry.
 //
-// Hot paths (PRF evaluations, MAC checks, cache probes) bump fixed-slot
-// relaxed atomics — safe to call from thread-pool workers with no locking.
-// Batch latencies go through a mutex-protected sample set so percentiles can
-// be reported. A process-wide instance (Counters::global()) is what the
-// serial verifiers use; the batch verifier can be pointed at a private
-// instance for isolated measurement.
+// Hot paths (PRF evaluations, MAC checks, cache probes) still call
+// add()/update_max() with the fixed Metric enum; underneath, each slot is a
+// registry instrument (sharded lock-free counter, gauge, or log-bucketed
+// histogram), so serial and parallel paths report identically and everything
+// metered here shows up in the registry's Prometheus/JSON exposition.
+// Counters::global() binds to obs::MetricsRegistry::global(); a
+// default-constructed instance owns a private registry for isolated
+// measurement (benches, tests).
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <mutex>
-#include <vector>
+
+#include "obs/metrics.h"
 
 namespace pnm::util {
 
@@ -34,7 +37,9 @@ enum class Metric : std::size_t {
 
 const char* metric_name(Metric m);
 
-/// Summary of the recorded batch latencies, microseconds.
+/// Summary of the recorded batch latencies, microseconds. Percentiles come
+/// from the log-bucketed histogram (<= 6.25% relative error); count and max
+/// are exact.
 struct LatencySummary {
   std::size_t count = 0;
   double p50_us = 0.0;
@@ -45,45 +50,61 @@ struct LatencySummary {
 
 class Counters {
  public:
+  /// Isolated instance backed by a private registry.
+  Counters();
+  /// Shim over an existing registry (what global() does).
+  explicit Counters(obs::MetricsRegistry& registry);
+
   void add(Metric m, std::uint64_t delta = 1) {
-    slot(m).fetch_add(delta, std::memory_order_relaxed);
+    if (m == Metric::kIngestQueueHighWater) {
+      queue_high_water_->add(static_cast<std::int64_t>(delta));
+      return;
+    }
+    slots_[static_cast<std::size_t>(m)]->add(delta);
   }
-  std::uint64_t get(Metric m) const { return slot(m).load(std::memory_order_relaxed); }
+  std::uint64_t get(Metric m) const {
+    if (m == Metric::kIngestQueueHighWater)
+      return static_cast<std::uint64_t>(queue_high_water_->value());
+    return slots_[static_cast<std::size_t>(m)]->value();
+  }
 
   /// Lock-free running maximum — for gauges like queue high-water marks.
   void update_max(Metric m, std::uint64_t value) {
-    auto& s = slot(m);
-    std::uint64_t cur = s.load(std::memory_order_relaxed);
-    while (cur < value &&
-           !s.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+    if (m == Metric::kIngestQueueHighWater) {
+      queue_high_water_->update_max(static_cast<std::int64_t>(value));
+      return;
     }
+    // Counter-backed metrics are monotonic sums; max makes no sense there.
   }
 
-  void record_batch_latency_us(double us);
+  void record_batch_latency_us(double us) { batch_latency_->record_us(us); }
   LatencySummary latency_summary() const;
 
-  /// Zero every counter and drop recorded latencies.
+  /// Zero every instrument this shim registered (the backing registry's
+  /// other instruments are untouched).
   void reset();
 
   /// One-line JSON object: every counter plus the latency summary. Stable
   /// key order so benches/CI can grep it.
   std::string to_json() const;
 
-  /// Process-wide instance used by the serial verification paths.
+  /// The registry behind this shim — where layers register instruments that
+  /// have outgrown the fixed enum (histograms, queue-depth gauges, ...).
+  obs::MetricsRegistry& registry() { return *registry_; }
+  const obs::MetricsRegistry& registry() const { return *registry_; }
+
+  /// Process-wide instance used by the serial verification paths; backed by
+  /// obs::MetricsRegistry::global().
   static Counters& global();
 
  private:
-  std::atomic<std::uint64_t>& slot(Metric m) {
-    return slots_[static_cast<std::size_t>(m)];
-  }
-  const std::atomic<std::uint64_t>& slot(Metric m) const {
-    return slots_[static_cast<std::size_t>(m)];
-  }
+  void bind();
 
-  std::array<std::atomic<std::uint64_t>, static_cast<std::size_t>(Metric::kMetricCount)>
-      slots_{};
-  mutable std::mutex latency_mu_;
-  std::vector<double> latencies_us_;
+  std::unique_ptr<obs::MetricsRegistry> owned_;  ///< default-constructed only
+  obs::MetricsRegistry* registry_;
+  std::array<obs::Counter*, static_cast<std::size_t>(Metric::kMetricCount)> slots_{};
+  obs::Gauge* queue_high_water_ = nullptr;
+  obs::Histogram* batch_latency_ = nullptr;
 };
 
 }  // namespace pnm::util

@@ -1,11 +1,28 @@
 #include "util/log.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <mutex>
+
+#include "obs/metrics.h"
 
 namespace pnm {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogFormat> g_format{LogFormat::kText};
+
+std::mutex& sink_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;  // empty = stderr
+  return sink;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -17,14 +34,83 @@ const char* level_name(LogLevel level) {
   }
   return "?    ";
 }
+
+const char* level_json_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_format(LogFormat format) {
+  g_format.store(format, std::memory_order_relaxed);
+}
+LogFormat log_format() { return g_format.load(std::memory_order_relaxed); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
 
 void log_line(LogLevel level, const std::string& message) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  if (level < log_level()) return;
+
+  // Format outside the lock; only emission is serialized.
+  std::string line;
+  if (log_format() == LogFormat::kJson) {
+    auto now_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count();
+    char head[96];
+    std::snprintf(head, sizeof(head), "{\"ts_us\":%lld,\"level\":\"%s\",\"tid\":%u,",
+                  static_cast<long long>(now_us), level_json_name(level),
+                  obs::current_thread_id());
+    line = head;
+    line += "\"msg\":\"";
+    append_json_escaped(line, message);
+    line += "\"}";
+  } else {
+    line = "[";
+    line += level_name(level);
+    line += "] ";
+    line += message;
+  }
+
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (sink_slot()) {
+    sink_slot()(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace pnm

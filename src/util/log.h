@@ -1,20 +1,42 @@
 // Minimal leveled logger. The simulator is quiet by default; examples raise
 // the level to narrate what the protocol is doing.
+//
+// Emission is serialized through a single mutex-guarded sink, so thread-pool
+// workers and the ingest producer can log concurrently without interleaving
+// bytes. Two formats:
+//   * kText  — "[LEVEL] message" (the historical format, default);
+//   * kJson  — one JSON object per line with wall-clock timestamp, level,
+//              thread id and escaped message, for log shippers.
+// A custom sink callback can replace stderr (tests, in-process capture).
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace pnm {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
+enum class LogFormat { kText, kJson };
+
 /// Global log threshold; messages below it are discarded.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit one line to stderr with a level prefix (thread-unsafe by design: the
-/// simulator is single-threaded and deterministic).
+/// Global line format (text by default).
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// Replace stderr with a callback receiving each fully formatted line
+/// (without trailing newline); pass nullptr to restore stderr. The callback
+/// runs under the log mutex — keep it cheap and never log from inside it.
+using LogSink = std::function<void(std::string_view line)>;
+void set_log_sink(LogSink sink);
+
+/// Emit one line with a level prefix. Thread-safe: formatting happens
+/// outside the lock, emission inside it.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

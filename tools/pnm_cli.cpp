@@ -38,16 +38,32 @@
 //
 // `pnm experiment --render text|dot` additionally dumps the reconstructed
 // order graph.
+//
+// Observability flags, valid on every command:
+//   --metrics-out FILE         write a scrape of the global metrics registry
+//                              on exit (every counter/gauge/histogram the
+//                              run touched)
+//   --metrics-format json|prom exposition format for --metrics-out
+//                              (default json; prom = Prometheus text)
+//   --span-trace FILE          enable scoped-span collection and write the
+//                              run's spans as Chrome trace-event JSON
+//                              (loadable in Perfetto / chrome://tracing)
+//   --metrics-every-ms N       also report a JSON metrics line to stderr
+//                              every N ms while the command runs
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "analysis/models.h"
 #include "core/campaign.h"
 #include "ingest/replay.h"
+#include "obs/exposition.h"
+#include "obs/span.h"
 #include "sink/batch_verifier.h"
 #include "sink/route_render.h"
 #include "trace/reader.h"
@@ -403,6 +419,7 @@ int cmd_trace_stat(const Args& args) {
     std::fprintf(stderr, "trace-stat: %s\n", reader.header_error().c_str());
     return 1;
   }
+  reader.meter_into(&pnm::util::Counters::global());
   auto stat = reader.stat();
 
   Table t({"field", "value"});
@@ -448,18 +465,7 @@ int cmd_model(const Args& args) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: %s <experiment|campaign|matrix|model|verify|record|replay|"
-                 "trace-stat|list> [--flag value ...]\n",
-                 argv[0]);
-    return 2;
-  }
-  std::string cmd = argv[1];
-  Args args = parse(argc, argv, 2);
+int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "list") return cmd_list();
   if (cmd == "experiment") return cmd_experiment(args);
   if (cmd == "campaign") return cmd_campaign(args);
@@ -471,4 +477,66 @@ int main(int argc, char** argv) {
   if (cmd == "trace-stat") return cmd_trace_stat(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content,
+                const char* what) {
+  std::ofstream out(path, std::ios::binary);
+  out << content;
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s to '%s'\n", what, path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <experiment|campaign|matrix|model|verify|record|replay|"
+                 "trace-stat|list> [--flag value ...]\n"
+                 "       [--metrics-out FILE] [--metrics-format json|prom]\n"
+                 "       [--span-trace FILE] [--metrics-every-ms N]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string cmd = argv[1];
+  Args args = parse(argc, argv, 2);
+
+  std::string span_path = args.str("span-trace", "");
+  if (!span_path.empty()) pnm::obs::SpanCollector::global().enable();
+
+  std::unique_ptr<pnm::obs::Reporter> reporter;
+  if (std::size_t every_ms = args.num("metrics-every-ms", 0)) {
+    reporter = std::make_unique<pnm::obs::Reporter>(
+        pnm::obs::MetricsRegistry::global(), std::chrono::milliseconds(every_ms),
+        [](const pnm::obs::MetricsSnapshot& snap) {
+          std::fprintf(stderr, "metrics: %s\n", pnm::obs::to_json(snap).c_str());
+        });
+  }
+
+  int rc = dispatch(cmd, args);
+  reporter.reset();  // final scrape before the file exports below
+
+  std::string metrics_path = args.str("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::string format = args.str("metrics-format", "json");
+    if (format != "json" && format != "prom") {
+      std::fprintf(stderr, "unknown --metrics-format '%s' (json|prom)\n",
+                   format.c_str());
+      return 2;
+    }
+    auto snap = pnm::obs::MetricsRegistry::global().scrape();
+    std::string body = format == "prom" ? pnm::obs::to_prometheus(snap)
+                                        : pnm::obs::to_json(snap) + "\n";
+    if (!write_file(metrics_path, body, "metrics")) return 1;
+  }
+  if (!span_path.empty()) {
+    if (!write_file(span_path, pnm::obs::SpanCollector::global().chrome_trace_json(),
+                    "span trace"))
+      return 1;
+  }
+  return rc;
 }

@@ -28,6 +28,7 @@
 #include "crypto/anon_id.h"
 #include "crypto/hmac.h"
 #include "crypto/keys.h"
+#include "crypto/sha256_multi.h"
 #include "marking/scheme.h"
 #include "net/report.h"
 #include "net/topology.h"
@@ -62,6 +63,45 @@ void BM_AnonTableBuild(benchmark::State& state) {
   state.counters["nodes"] = static_cast<double>(nodes);
 }
 BENCHMARK(BM_AnonTableBuild)->Arg(100)->Arg(1000)->Arg(4000);
+
+// Per-report table rebuild swept across the SHA-256 dispatch ladder. The
+// second arg pins a backend (0=scalar 1=sse2 2=avx2 3=shani) or leaves the
+// runtime dispatch in charge (4=auto); unsupported pins are skipped so the
+// sweep is portable. The auto/scalar ratio here is the tentpole acceptance
+// number recorded by scripts/bench_record.py.
+void BM_AnonTableRebuild(benchmark::State& state) {
+  std::size_t nodes = static_cast<std::size_t>(state.range(0));
+  int sel = static_cast<int>(state.range(1));
+  const bool pinned = sel >= 0 && sel <= 3;
+  auto backend = static_cast<pnm::crypto::Sha256Backend>(sel);
+  if (pinned && !pnm::crypto::sha_backend_supported(backend)) {
+    state.SkipWithError("backend unsupported on this CPU");
+    return;
+  }
+  if (pinned) pnm::crypto::force_sha_backend(backend);
+  pnm::crypto::KeyStore keys(master(), nodes);
+  pnm::Bytes report = pnm::net::Report{7, 7, 7, 7}.encode();
+  for (auto _ : state) {
+    pnm::sink::AnonIdTable table(keys, report, 2);
+    benchmark::DoNotOptimize(table.distinct_ids());
+  }
+  state.SetLabel(
+      pnm::crypto::sha_backend_name(pnm::crypto::sha256_multi_backend(nodes - 1)));
+  if (pinned) pnm::crypto::force_sha_backend(std::nullopt);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * (nodes - 1)));
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["prf_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * (nodes - 1)),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AnonTableRebuild)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({1000, 2})
+    ->Args({1000, 3})
+    ->Args({1000, 4})
+    ->Args({4000, 4});
 
 // Build one marked packet along a chain path for verification benchmarks.
 pnm::net::Packet marked_packet(const pnm::marking::MarkingScheme& scheme,
@@ -203,6 +243,9 @@ BENCHMARK(BM_BatchVerifyScoped)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext(
+      "sha256_backend",
+      pnm::crypto::sha_backend_name(pnm::crypto::active_sha_backend()));
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   std::printf("metrics: %s\n",

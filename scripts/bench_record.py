@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Record the sink/replay benchmark suite into BENCH_5.json.
+
+Runs bench/sink_throughput and bench/replay_throughput twice each — once with
+the SHA-256 engine pinned to the scalar rung (PNM_FORCE_SHA_BACKEND=scalar)
+and once under the runtime dispatch ladder — and records both raw results and
+the auto/scalar speedups for the headline series:
+
+  * BM_AnonTableRebuild/1000/4  — per-report anon-ID table rebuild
+                                  (target: >= 3x over forced-scalar)
+  * BM_BatchVerify/1/real_time  — single-thread batch verification
+                                  (target: >= 2x over forced-scalar)
+
+Usage: scripts/bench_record.py [--build-dir build] [--out BENCH_5.json]
+                               [--min-time 0.5]
+
+The output JSON is committed next to the benchmarks it describes and uploaded
+as a CI artifact by the perf-smoke job, so perf regressions leave a trail.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+HEADLINE = {
+    "BM_AnonTableRebuild/1000/4": 3.0,
+    "BM_BatchVerify/1/real_time": 2.0,
+}
+
+FILTERS = {
+    "sink_throughput": (
+        "BM_HmacSha256|BM_AnonTableBuild|BM_AnonTableRebuild|"
+        "BM_VerifyPacketPnm|BM_BatchVerify"
+    ),
+    "replay_throughput": "BM_ReplayPipeline",
+}
+
+
+def run_bench(binary, bench_filter, min_time, backend_env):
+    env = dict(os.environ)
+    env.pop("PNM_FORCE_SHA_BACKEND", None)
+    if backend_env:
+        env["PNM_FORCE_SHA_BACKEND"] = backend_env
+    cmd = [
+        binary,
+        f"--benchmark_filter={bench_filter}",
+        f"--benchmark_min_time={min_time}",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark failed: {' '.join(cmd)}")
+    # The bench main appends a "metrics: {...}" line after the JSON document;
+    # google-benchmark's JSON itself goes to stdout first. Parse greedily from
+    # the first '{'.
+    text = proc.stdout
+    start = text.find("{")
+    doc, _ = json.JSONDecoder().raw_decode(text[start:])
+    return doc
+
+
+def times_by_name(doc):
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = {
+            "real_time_ns": b["real_time"],
+            "cpu_time_ns": b["cpu_time"],
+            "items_per_second": b.get("items_per_second"),
+            "label": b.get("label", ""),
+        }
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", default="build")
+    ap.add_argument("--out", default="BENCH_5.json")
+    ap.add_argument("--min-time", default="0.5")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if a headline speedup misses its target",
+    )
+    args = ap.parse_args()
+
+    record = {"suites": {}, "speedups": {}}
+    for suite, bench_filter in FILTERS.items():
+        binary = os.path.join(args.build_dir, "bench", suite)
+        if not os.path.exists(binary):
+            raise SystemExit(f"missing benchmark binary: {binary} (build it first)")
+        scalar = run_bench(binary, bench_filter, args.min_time, "scalar")
+        auto = run_bench(binary, bench_filter, args.min_time, None)
+        record["suites"][suite] = {
+            "context": auto.get("context", {}),
+            "scalar": times_by_name(scalar),
+            "auto": times_by_name(auto),
+        }
+
+    ok = True
+    for name, target in HEADLINE.items():
+        for suite in record["suites"].values():
+            if name in suite["scalar"] and name in suite["auto"]:
+                s = suite["scalar"][name]["real_time_ns"]
+                a = suite["auto"][name]["real_time_ns"]
+                speedup = s / a if a else 0.0
+                record["speedups"][name] = {
+                    "scalar_ns": s,
+                    "auto_ns": a,
+                    "auto_backend": suite["auto"][name].get("label", ""),
+                    "speedup": round(speedup, 3),
+                    "target": target,
+                    "meets_target": speedup >= target,
+                }
+                ok = ok and speedup >= target
+                break
+        else:
+            record["speedups"][name] = {"error": "benchmark not found"}
+            ok = False
+
+    with open(args.out, "w") as f:
+        json.dump(record, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    for name, s in record["speedups"].items():
+        if "speedup" in s:
+            print(
+                f"{name}: {s['speedup']}x over scalar "
+                f"(target {s['target']}x, auto={s['auto_backend']})"
+            )
+        else:
+            print(f"{name}: MISSING")
+    print(f"wrote {args.out}")
+    if args.check and not ok:
+        raise SystemExit("headline speedup target missed")
+
+
+if __name__ == "__main__":
+    main()

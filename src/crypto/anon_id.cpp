@@ -1,6 +1,8 @@
 #include "crypto/anon_id.h"
 
 #include <cassert>
+#include <cstring>
+#include <vector>
 
 #include "crypto/hmac.h"
 
@@ -28,6 +30,41 @@ Bytes anon_id(const HmacKey& node_key, ByteView original_message, NodeId real_id
               std::size_t anon_len) {
   assert(anon_len >= 1 && anon_len <= kSha256DigestSize);
   return node_key.truncated(anon_id_input(original_message, real_id), anon_len);
+}
+
+void anon_id_batch(const KeyStore& keys, ByteView report, std::span<const NodeId> ids,
+                   std::size_t anon_len, std::uint8_t* out) {
+  assert(anon_len >= 1 && anon_len <= kSha256DigestSize);
+  const std::size_t n = ids.size();
+  if (n == 0) return;
+
+  // One input slot per lane: [0xA1][len16 LE][report][id16 LE]. Slot 0 is
+  // built once and replicated; only the trailing id bytes get patched.
+  const std::size_t stride = 1 + 2 + report.size() + 2;
+  thread_local Bytes arena;
+  thread_local std::vector<HmacBatchJob> jobs;
+  thread_local std::vector<Sha256Digest> full;
+  arena.resize(n * stride);
+  jobs.resize(n);
+  full.resize(n);
+
+  std::uint8_t* slot0 = arena.data();
+  slot0[0] = 0xA1;  // domain separation: anonymous-ID PRF, never a marking MAC
+  slot0[1] = static_cast<std::uint8_t>(report.size());
+  slot0[2] = static_cast<std::uint8_t>(report.size() >> 8);
+  if (!report.empty()) std::memcpy(slot0 + 3, report.data(), report.size());
+  for (std::size_t i = 1; i < n; ++i)
+    std::memcpy(arena.data() + i * stride, slot0, stride - 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint8_t* slot = arena.data() + i * stride;
+    slot[stride - 2] = static_cast<std::uint8_t>(ids[i]);
+    slot[stride - 1] = static_cast<std::uint8_t>(ids[i] >> 8);
+    jobs[i] = {&keys.hmac_key(ids[i]), ByteView(slot, stride)};
+  }
+
+  hmac_batch(jobs, full.data());
+  for (std::size_t i = 0; i < n; ++i)
+    std::memcpy(out + i * anon_len, full[i].data(), anon_len);
 }
 
 }  // namespace pnm::crypto

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "crypto/hmac.h"
+#include "crypto/keys.h"
 #include "util/bytes.h"
 #include "util/ids.h"
 
@@ -31,5 +33,16 @@ Bytes anon_id(ByteView node_key, ByteView original_message, NodeId real_id,
 /// (table builds and ring probes re-key per candidate otherwise).
 Bytes anon_id(const HmacKey& node_key, ByteView original_message, NodeId real_id,
               std::size_t anon_len = kDefaultAnonIdSize);
+
+/// Batched PRF sweep over ONE report: out[i*anon_len ..] receives the
+/// truncated anonymous ID of candidate ids[i], bit-identical to
+/// anon_id(keys.hmac_key(ids[i]), report, ids[i], anon_len) for each i.
+///
+/// Every lane input shares one arena-built template — only the trailing
+/// node-id bytes differ — so all lanes have equal length (perfect lockstep
+/// occupancy) and there is no per-candidate heap traffic. This is the
+/// engine under AnonIdTable rebuilds and the scoped ring search.
+void anon_id_batch(const KeyStore& keys, ByteView report, std::span<const NodeId> ids,
+                   std::size_t anon_len, std::uint8_t* out);
 
 }  // namespace pnm::crypto

@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cstring>
+#include <vector>
+
+#include "crypto/sha256_multi.h"
 
 namespace pnm::crypto {
 
@@ -45,6 +48,27 @@ bool HmacKey::verify(ByteView data, ByteView mac_bytes) const {
 }
 
 Sha256Digest hmac_sha256(ByteView key, ByteView data) { return HmacKey(key).mac(data); }
+
+void hmac_batch(std::span<const HmacBatchJob> jobs, Sha256Digest* outs) {
+  const std::size_t n = jobs.size();
+  if (n == 0) return;
+  // Inner digests double as the outer pass's messages; both sweeps reuse the
+  // same thread-local job arena (no per-MAC heap traffic).
+  thread_local std::vector<Sha256Digest> inner;
+  thread_local std::vector<Sha256MultiJob> mjobs;
+  inner.resize(n);
+  mjobs.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    mjobs[i] = {jobs[i].key->inner_words(), 1, jobs[i].data.data(), jobs[i].data.size(),
+                inner[i].data()};
+  }
+  sha256_multi(mjobs);
+  for (std::size_t i = 0; i < n; ++i) {
+    mjobs[i] = {jobs[i].key->outer_words(), 1, inner[i].data(), kSha256DigestSize,
+                outs[i].data()};
+  }
+  sha256_multi(mjobs);
+}
 
 Bytes truncated_mac(ByteView key, ByteView data, std::size_t mac_len) {
   assert(mac_len >= 1 && mac_len <= kSha256DigestSize);

@@ -4,6 +4,8 @@
 // security/overhead trade-off can be swept in benchmarks.
 #pragma once
 
+#include <span>
+
 #include "crypto/sha256.h"
 #include "util/bytes.h"
 
@@ -29,9 +31,28 @@ class HmacKey {
   /// Verify a truncated MAC in constant time.
   bool verify(ByteView data, ByteView mac) const;
 
+  /// Chaining words after the ipad / opad block (internal): the midstates
+  /// the multi-buffer engine seeds lanes from, each one block (64 bytes) in.
+  const std::uint32_t* inner_words() const { return inner_.chaining_words(); }
+  const std::uint32_t* outer_words() const { return outer_.chaining_words(); }
+
  private:
   Sha256 inner_, outer_;  // contexts with the ipad/opad block already absorbed
 };
+
+/// One batched MAC evaluation: HMAC-SHA256 of `data` through `key`'s
+/// precomputed schedule.
+struct HmacBatchJob {
+  const HmacKey* key = nullptr;
+  ByteView data;
+};
+
+/// Evaluate every job through the multi-buffer SHA-256 engine (two lockstep
+/// sweeps: inner hashes seeded from each key's ipad midstate, then the
+/// 32-byte outer pass). outs[i] == jobs[i].key->mac(jobs[i].data),
+/// bit-identical on every backend. Equal-length jobs — the PRF-table and
+/// candidate-MAC shapes — fill SIMD lanes perfectly.
+void hmac_batch(std::span<const HmacBatchJob> jobs, Sha256Digest* outs);
 
 /// HMAC-SHA256 truncated to `mac_len` bytes (RFC 2104 §5 leftmost bytes).
 /// mac_len must be in [1, 32].

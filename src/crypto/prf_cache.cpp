@@ -103,6 +103,31 @@ Bytes PrfCache::get_or_compute(std::uint64_t report_key, NodeId node,
   return anon;
 }
 
+bool PrfCache::try_get(std::uint64_t report_key, NodeId node, std::size_t anon_len,
+                       Bytes* out) const {
+  std::uint64_t key = entry_key(report_key, node, anon_len);
+  const Shard& shard = *shards_[key % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  if (out) *out = it->second;
+  return true;
+}
+
+void PrfCache::insert(std::uint64_t report_key, NodeId node, std::size_t anon_len,
+                      ByteView anon) {
+  std::uint64_t key = entry_key(report_key, node, anon_len);
+  Shard& shard = *shards_[key % shards_.size()];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= max_entries_per_shard_) {
+    if (entries_gauge_)
+      entries_gauge_->add(-static_cast<std::int64_t>(shard.map.size()));
+    shard.map.clear();
+  }
+  if (shard.map.emplace(key, Bytes(anon.begin(), anon.end())).second && entries_gauge_)
+    entries_gauge_->add(1);
+}
+
 std::size_t PrfCache::size() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {

@@ -51,6 +51,18 @@ class PrfCache {
                        ByteView report, std::size_t anon_len,
                        util::Counters* counters = nullptr);
 
+  /// Lookup only — no compute, no counter accounting. The batched scoped
+  /// path probes the cache *before* lane packing so hits never occupy a
+  /// lane; hit/miss counters are then metered logically per candidate
+  /// actually walked, preserving the serial path's accounting.
+  bool try_get(std::uint64_t report_key, NodeId node, std::size_t anon_len,
+               Bytes* out) const;
+
+  /// Store a value computed outside the cache (a multi-lane sweep). Same
+  /// epoch-eviction policy as get_or_compute; idempotent per key.
+  void insert(std::uint64_t report_key, NodeId node, std::size_t anon_len,
+              ByteView anon);
+
   /// Total entries across shards (approximate under concurrent use).
   std::size_t size() const;
   void clear();

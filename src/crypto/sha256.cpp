@@ -2,16 +2,18 @@
 
 #include <cstring>
 
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define PNM_SHA256_X86_DISPATCH 1
+#include "crypto/sha256_compress.h"
+#include "crypto/sha256_multi.h"
+
+#ifdef PNM_SHA256_X86
 #include <immintrin.h>
 #endif
 
 namespace pnm::crypto {
 
-namespace {
+namespace detail {
 
-constexpr std::uint32_t kRoundConstants[64] = {
+const std::uint32_t kSha256K[64] = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4,
     0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe,
     0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f,
@@ -23,17 +25,63 @@ constexpr std::uint32_t kRoundConstants[64] = {
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
     0xc67178f2};
 
+namespace {
 inline std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+}  // namespace
 
-#ifdef PNM_SHA256_X86_DISPATCH
+void compress_portable(std::uint32_t state[8], const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    std::uint32_t ch = (e & f) ^ (~e & g);
+    std::uint32_t temp1 = h + s1 + ch + kSha256K[i] + w[i];
+    std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    std::uint32_t temp2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+
+#ifdef PNM_SHA256_X86
 // SHA-NI compression (one block). Same schedule recurrence as the portable
-// loop below, expressed with the x86 SHA extension: state lives in two
+// loop above, expressed with the x86 SHA extension: state lives in two
 // lanes as ABEF/CDGH, the message schedule advances four w's at a time via
 // sha256msg1/msg2, and each sha256rnds2 retires two rounds. Round constants
-// come straight from kRoundConstants, four per group. Guarded by a runtime
-// CPUID check; the portable path stays the reference implementation.
-__attribute__((target("sha,sse4.1"))) void process_block_shani(std::uint32_t* state,
-                                                               const std::uint8_t* block) {
+// come straight from kSha256K, four per group. Guarded by the runtime
+// dispatch ladder; the portable path stays the reference implementation.
+__attribute__((target("sha,sse4.1"))) void compress_shani(std::uint32_t* state,
+                                                          const std::uint8_t* block) {
   const __m128i kByteSwap =
       _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
 
@@ -55,7 +103,7 @@ __attribute__((target("sha,sse4.1"))) void process_block_shani(std::uint32_t* st
 
   for (int i = 0; i < 16; ++i) {
     const __m128i k =
-        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kRoundConstants[4 * i]));
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256K[4 * i]));
     __m128i msg = _mm_add_epi32(w[i & 3], k);
     state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
     msg = _mm_shuffle_epi32(msg, 0x0E);
@@ -82,9 +130,11 @@ __attribute__((target("sha,sse4.1"))) void process_block_shani(std::uint32_t* st
 bool cpu_has_shani() {
   return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
 }
-#endif  // PNM_SHA256_X86_DISPATCH
 
-}  // namespace
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2"); }
+#endif  // PNM_SHA256_X86
+
+}  // namespace detail
 
 void Sha256::reset() {
   static constexpr std::uint32_t kInit[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
@@ -95,54 +145,16 @@ void Sha256::reset() {
 }
 
 void Sha256::process_block(const std::uint8_t* block) {
-#ifdef PNM_SHA256_X86_DISPATCH
-  static const bool use_shani = cpu_has_shani();
-  if (use_shani) {
-    process_block_shani(state_, block);
+#ifdef PNM_SHA256_X86
+  // Consult the dispatch ladder per block (one relaxed atomic read — noise
+  // next to a compression) so PNM_FORCE_SHA_BACKEND and the test hook steer
+  // the single-buffer path too, not just the multi-lane engine.
+  if (active_sha_backend() == Sha256Backend::kShaNi) {
+    detail::compress_shani(state_, block);
     return;
   }
 #endif
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
-           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
-           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
-           static_cast<std::uint32_t>(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    std::uint32_t ch = (e & f) ^ (~e & g);
-    std::uint32_t temp1 = h + s1 + ch + kRoundConstants[i] + w[i];
-    std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    std::uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  detail::compress_portable(state_, block);
 }
 
 void Sha256::update(ByteView data) {

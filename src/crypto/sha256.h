@@ -26,6 +26,13 @@ class Sha256 {
   /// One-shot convenience.
   static Sha256Digest hash(ByteView data);
 
+  /// Raw chaining words (internal). Only meaningful at a 64-byte boundary
+  /// (no buffered partial block); the multi-buffer engine seeds lanes from
+  /// these — e.g. HMAC's ipad/opad midstates, absorbed exactly one block in.
+  const std::uint32_t* chaining_words() const { return state_; }
+  /// Bytes absorbed so far (internal; pairs with chaining_words()).
+  std::uint64_t bytes_absorbed() const { return total_len_; }
+
  private:
   void process_block(const std::uint8_t* block);
 

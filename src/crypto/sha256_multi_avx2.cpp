@@ -1,0 +1,114 @@
+// 8-wide AVX2 multi-buffer SHA-256 compression: eight independent lane
+// states advance one block per call, one vector per 32-bit state word with a
+// lane per element. Same transliteration of the portable round function as
+// the SSE2 kernel, twice as wide. Message words are gathered lane-by-lane;
+// the 64 vector rounds dominate, so the gather stays scalar for clarity.
+//
+// Compiled with -mavx2 only (see src/CMakeLists.txt) and called strictly
+// behind the runtime cpu_has_avx2() dispatch, so plain x86-64 builds never
+// execute these instructions.
+#include "crypto/sha256_compress.h"
+
+#ifdef PNM_SHA256_MB_SIMD
+
+#include <immintrin.h>
+
+namespace pnm::crypto::detail {
+
+namespace {
+
+inline __m256i rotr32(__m256i x, int n) {
+  return _mm256_or_si256(_mm256_srli_epi32(x, n), _mm256_slli_epi32(x, 32 - n));
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+/// Message word t for all eight lanes (element l = lane l).
+inline __m256i gather_w(const std::uint8_t* const blocks[8], int t) {
+  return _mm256_set_epi32(static_cast<int>(load_be32(blocks[7] + 4 * t)),
+                          static_cast<int>(load_be32(blocks[6] + 4 * t)),
+                          static_cast<int>(load_be32(blocks[5] + 4 * t)),
+                          static_cast<int>(load_be32(blocks[4] + 4 * t)),
+                          static_cast<int>(load_be32(blocks[3] + 4 * t)),
+                          static_cast<int>(load_be32(blocks[2] + 4 * t)),
+                          static_cast<int>(load_be32(blocks[1] + 4 * t)),
+                          static_cast<int>(load_be32(blocks[0] + 4 * t)));
+}
+
+}  // namespace
+
+void compress_x8_avx2(std::uint32_t state[8][8], const std::uint8_t* const blocks[8]) {
+  __m256i w[16];
+  for (int t = 0; t < 16; ++t) w[t] = gather_w(blocks, t);
+
+  __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[0]));
+  __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[1]));
+  __m256i c = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[2]));
+  __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[3]));
+  __m256i e = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[4]));
+  __m256i f = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[5]));
+  __m256i g = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[6]));
+  __m256i h = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(state[7]));
+
+  for (int t = 0; t < 64; ++t) {
+    __m256i wt;
+    if (t < 16) {
+      wt = w[t];
+    } else {
+      __m256i w15 = w[(t - 15) & 15];
+      __m256i w2 = w[(t - 2) & 15];
+      __m256i s0 = _mm256_xor_si256(_mm256_xor_si256(rotr32(w15, 7), rotr32(w15, 18)),
+                                    _mm256_srli_epi32(w15, 3));
+      __m256i s1 = _mm256_xor_si256(_mm256_xor_si256(rotr32(w2, 17), rotr32(w2, 19)),
+                                    _mm256_srli_epi32(w2, 10));
+      wt = _mm256_add_epi32(_mm256_add_epi32(w[t & 15], s0),
+                            _mm256_add_epi32(w[(t - 7) & 15], s1));
+      w[t & 15] = wt;
+    }
+    __m256i s1 = _mm256_xor_si256(_mm256_xor_si256(rotr32(e, 6), rotr32(e, 11)),
+                                  rotr32(e, 25));
+    __m256i ch = _mm256_xor_si256(_mm256_and_si256(e, f), _mm256_andnot_si256(e, g));
+    __m256i t1 = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_add_epi32(h, s1), _mm256_add_epi32(ch, wt)),
+        _mm256_set1_epi32(static_cast<int>(kSha256K[t])));
+    __m256i s0 = _mm256_xor_si256(_mm256_xor_si256(rotr32(a, 2), rotr32(a, 13)),
+                                  rotr32(a, 22));
+    __m256i maj = _mm256_xor_si256(
+        _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+        _mm256_and_si256(b, c));
+    __m256i t2 = _mm256_add_epi32(s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm256_add_epi32(d, t1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm256_add_epi32(t1, t2);
+  }
+
+  __m256i* out = reinterpret_cast<__m256i*>(state[0]);
+  _mm256_storeu_si256(out, _mm256_add_epi32(_mm256_loadu_si256(out), a));
+  out = reinterpret_cast<__m256i*>(state[1]);
+  _mm256_storeu_si256(out, _mm256_add_epi32(_mm256_loadu_si256(out), b));
+  out = reinterpret_cast<__m256i*>(state[2]);
+  _mm256_storeu_si256(out, _mm256_add_epi32(_mm256_loadu_si256(out), c));
+  out = reinterpret_cast<__m256i*>(state[3]);
+  _mm256_storeu_si256(out, _mm256_add_epi32(_mm256_loadu_si256(out), d));
+  out = reinterpret_cast<__m256i*>(state[4]);
+  _mm256_storeu_si256(out, _mm256_add_epi32(_mm256_loadu_si256(out), e));
+  out = reinterpret_cast<__m256i*>(state[5]);
+  _mm256_storeu_si256(out, _mm256_add_epi32(_mm256_loadu_si256(out), f));
+  out = reinterpret_cast<__m256i*>(state[6]);
+  _mm256_storeu_si256(out, _mm256_add_epi32(_mm256_loadu_si256(out), g));
+  out = reinterpret_cast<__m256i*>(state[7]);
+  _mm256_storeu_si256(out, _mm256_add_epi32(_mm256_loadu_si256(out), h));
+}
+
+}  // namespace pnm::crypto::detail
+
+#endif  // PNM_SHA256_MB_SIMD

@@ -1,0 +1,108 @@
+// 4-wide SSE2 multi-buffer SHA-256 compression: four independent lane states
+// advance one block per call, each 32-bit state word held as one vector with
+// a lane per element. The round function is the portable loop transliterated
+// to vector ops — bit-identical by construction, asserted by the backend
+// equivalence property test.
+//
+// Compiled with -msse2 only (see src/CMakeLists.txt); SSE2 is x86-64
+// baseline so this TU needs no runtime guard beyond being x86-64.
+#include "crypto/sha256_compress.h"
+
+#ifdef PNM_SHA256_MB_SIMD
+
+#include <emmintrin.h>
+
+namespace pnm::crypto::detail {
+
+namespace {
+
+inline __m128i rotr32(__m128i x, int n) {
+  return _mm_or_si128(_mm_srli_epi32(x, n), _mm_slli_epi32(x, 32 - n));
+}
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+/// Message word t for all four lanes (element l = lane l).
+inline __m128i gather_w(const std::uint8_t* const blocks[4], int t) {
+  return _mm_set_epi32(static_cast<int>(load_be32(blocks[3] + 4 * t)),
+                       static_cast<int>(load_be32(blocks[2] + 4 * t)),
+                       static_cast<int>(load_be32(blocks[1] + 4 * t)),
+                       static_cast<int>(load_be32(blocks[0] + 4 * t)));
+}
+
+}  // namespace
+
+void compress_x4_sse2(std::uint32_t state[8][4], const std::uint8_t* const blocks[4]) {
+  __m128i w[16];
+  for (int t = 0; t < 16; ++t) w[t] = gather_w(blocks, t);
+
+  __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state[0]));
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state[1]));
+  __m128i c = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state[2]));
+  __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state[3]));
+  __m128i e = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state[4]));
+  __m128i f = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state[5]));
+  __m128i g = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state[6]));
+  __m128i h = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state[7]));
+
+  for (int t = 0; t < 64; ++t) {
+    __m128i wt;
+    if (t < 16) {
+      wt = w[t];
+    } else {
+      __m128i w15 = w[(t - 15) & 15];
+      __m128i w2 = w[(t - 2) & 15];
+      __m128i s0 = _mm_xor_si128(_mm_xor_si128(rotr32(w15, 7), rotr32(w15, 18)),
+                                 _mm_srli_epi32(w15, 3));
+      __m128i s1 = _mm_xor_si128(_mm_xor_si128(rotr32(w2, 17), rotr32(w2, 19)),
+                                 _mm_srli_epi32(w2, 10));
+      wt = _mm_add_epi32(_mm_add_epi32(w[t & 15], s0),
+                         _mm_add_epi32(w[(t - 7) & 15], s1));
+      w[t & 15] = wt;
+    }
+    __m128i s1 = _mm_xor_si128(_mm_xor_si128(rotr32(e, 6), rotr32(e, 11)),
+                               rotr32(e, 25));
+    __m128i ch = _mm_xor_si128(_mm_and_si128(e, f), _mm_andnot_si128(e, g));
+    __m128i t1 = _mm_add_epi32(
+        _mm_add_epi32(_mm_add_epi32(h, s1), _mm_add_epi32(ch, wt)),
+        _mm_set1_epi32(static_cast<int>(kSha256K[t])));
+    __m128i s0 = _mm_xor_si128(_mm_xor_si128(rotr32(a, 2), rotr32(a, 13)),
+                               rotr32(a, 22));
+    __m128i maj = _mm_xor_si128(
+        _mm_xor_si128(_mm_and_si128(a, b), _mm_and_si128(a, c)), _mm_and_si128(b, c));
+    __m128i t2 = _mm_add_epi32(s0, maj);
+    h = g;
+    g = f;
+    f = e;
+    e = _mm_add_epi32(d, t1);
+    d = c;
+    c = b;
+    b = a;
+    a = _mm_add_epi32(t1, t2);
+  }
+
+  __m128i* out = reinterpret_cast<__m128i*>(state[0]);
+  _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), a));
+  out = reinterpret_cast<__m128i*>(state[1]);
+  _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), b));
+  out = reinterpret_cast<__m128i*>(state[2]);
+  _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), c));
+  out = reinterpret_cast<__m128i*>(state[3]);
+  _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), d));
+  out = reinterpret_cast<__m128i*>(state[4]);
+  _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), e));
+  out = reinterpret_cast<__m128i*>(state[5]);
+  _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), f));
+  out = reinterpret_cast<__m128i*>(state[6]);
+  _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), g));
+  out = reinterpret_cast<__m128i*>(state[7]);
+  _mm_storeu_si128(out, _mm_add_epi32(_mm_loadu_si128(out), h));
+}
+
+}  // namespace pnm::crypto::detail
+
+#endif  // PNM_SHA256_MB_SIMD

@@ -17,7 +17,7 @@ Pipeline::Pipeline(sink::BatchVerifier& verifier, sink::TracebackEngine* traceba
       queue_depth_(&counters_->registry().gauge("ingest_queue_depth")),
       batch_fold_us_(&counters_->registry().histogram("ingest_batch_fold_us")),
       queue_(cfg.queue_capacity) {
-  if (cfg_.batch_size == 0) cfg_.batch_size = 64;
+  if (cfg_.batch_size == 0) cfg_.batch_size = 256;
 }
 
 bool Pipeline::push(net::Packet&& p, double time_s) {

@@ -38,16 +38,38 @@ VerifyResult PnmScheme::verify(const net::Packet& p, const crypto::KeyStore& key
   // Nested backward pass with candidate disambiguation: a mark is valid if
   // ANY candidate node for its anonymous ID produces a matching MAC (the
   // truncated anon ID may collide across nodes; the MAC breaks the tie).
+  // Colliding candidate sets share one MAC input (same mark, different
+  // keys), so their MACs run as one multi-lane sweep; kMacChecks still
+  // meters candidates walked up to the resolving one, like the serial loop.
   for (std::size_t j = p.marks.size(); j-- > 0;) {
     const net::Mark& m = p.marks[j];
     NodeId resolved = kInvalidNode;
     if (m.id_field.size() == cfg_.anon_len) {
       Bytes input = nested_mac_input(p, j, m.id_field);
-      for (NodeId candidate : table.candidates(m.id_field)) {
-        metrics.add(util::Metric::kMacChecks);
-        if (keys.hmac_key(candidate).verify(input, m.mac)) {
-          resolved = candidate;
-          break;
+      std::span<const NodeId> candidates = table.candidates(m.id_field);
+      if (candidates.size() > 1) {
+        thread_local std::vector<crypto::HmacBatchJob> jobs;
+        thread_local std::vector<crypto::Sha256Digest> macs;
+        jobs.clear();
+        for (NodeId candidate : candidates)
+          jobs.push_back({&keys.hmac_key(candidate), input});
+        macs.resize(jobs.size());
+        crypto::hmac_batch(jobs, macs.data());
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+          metrics.add(util::Metric::kMacChecks);
+          if (m.mac.size() >= 1 && m.mac.size() <= crypto::kSha256DigestSize &&
+              constant_time_equal(ByteView(macs[c].data(), m.mac.size()), m.mac)) {
+            resolved = candidates[c];
+            break;
+          }
+        }
+      } else {
+        for (NodeId candidate : candidates) {
+          metrics.add(util::Metric::kMacChecks);
+          if (keys.hmac_key(candidate).verify(input, m.mac)) {
+            resolved = candidate;
+            break;
+          }
         }
       }
     }

@@ -13,7 +13,8 @@
 //                      the previously verified node, O(d) hashes per mark.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "crypto/anon_id.h"
@@ -26,18 +27,27 @@ namespace pnm::sink {
 
 /// Reverse map anon-ID -> candidate real IDs for one report. Build cost is
 /// one PRF evaluation per node; measured by bench/sink_throughput.
+///
+/// Storage is a sorted flat layout, not a node-per-entry hash map: the PRFs
+/// arrive from one multi-lane sweep, get key-sorted once, and candidates()
+/// answers with an equal_range slice. A rebuild therefore costs O(1) heap
+/// allocations regardless of network size — the per-report rebuild is pure
+/// hashing, which is what the multi-buffer engine accelerates.
 class AnonIdTable {
  public:
   AnonIdTable(const crypto::KeyStore& keys, ByteView report, std::size_t anon_len);
 
-  /// All nodes whose anonymous ID for this report equals `anon`.
-  const std::vector<NodeId>& candidates(ByteView anon) const;
+  /// All nodes whose anonymous ID for this report equals `anon`, ascending.
+  std::span<const NodeId> candidates(ByteView anon) const;
 
-  std::size_t distinct_ids() const { return table_.size(); }
+  std::size_t distinct_ids() const { return distinct_; }
 
  private:
-  std::unordered_map<std::string, std::vector<NodeId>> table_;
-  std::vector<NodeId> empty_;
+  std::size_t anon_len_ = 0;
+  std::size_t distinct_ = 0;
+  std::vector<std::uint64_t> keys_;  ///< sorted packed anon IDs (anon_len <= 8)
+  Bytes wide_;                       ///< sorted anon IDs, stride anon_len (> 8)
+  std::vector<NodeId> ids_;          ///< node IDs grouped by key, ascending
 };
 
 /// Topology-scoped candidate search: compute anonymous IDs only for the

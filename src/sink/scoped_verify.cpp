@@ -48,22 +48,64 @@ marking::VerifyResult scoped_verify_pnm(const net::Packet& p,
            ++ring) {
         if (ring > 1) ++local.ring_expansions;
         std::vector<NodeId> ball = topo.k_hop_neighborhood(anchor, ring);
-        bool grew = false;
+
+        // Batched ring probe: collect the ring's eligible candidates, filter
+        // them through the PRF cache (hits never occupy a lane), evaluate
+        // the misses in one multi-lane sweep, then walk candidates in ball
+        // order with the serial path's accounting — prf_evaluations and the
+        // hit/miss/MAC counters meter candidates *walked* (up to the
+        // resolving one), exactly as the one-at-a-time loop did, while the
+        // lanes may have speculatively computed past the break point. Every
+        // computed value is cached; values are backend-independent, so the
+        // verdict is bit-identical either way.
+        thread_local std::vector<NodeId> eligible;
+        thread_local std::vector<Bytes> anons;
+        thread_local std::vector<std::uint8_t> was_hit;
+        thread_local std::vector<std::size_t> miss_idx;
+        thread_local std::vector<NodeId> miss_ids;
+        thread_local Bytes lane_out;
+        eligible.clear();
         for (NodeId candidate : ball) {
           if (candidate == kSinkId || candidate >= keys.size()) continue;
           if (std::binary_search(tried.begin(), tried.end(), candidate)) continue;
-          grew = true;
-          ++local.prf_evaluations;
-          Bytes anon;
-          if (cache) {
-            anon = cache->get_or_compute(rkey, candidate, keys.hmac_key(candidate),
-                                         p.report, cfg.anon_len, &metrics);
+          eligible.push_back(candidate);
+        }
+        const bool grew = !eligible.empty();
+
+        anons.assign(eligible.size(), Bytes());
+        was_hit.assign(eligible.size(), 0);
+        miss_idx.clear();
+        for (std::size_t i = 0; i < eligible.size(); ++i) {
+          if (cache && cache->try_get(rkey, eligible[i], cfg.anon_len, &anons[i])) {
+            was_hit[i] = 1;
           } else {
-            metrics.add(util::Metric::kPrfEvals);
-            anon = crypto::anon_id(keys.hmac_key(candidate), p.report, candidate,
-                                   cfg.anon_len);
+            miss_idx.push_back(i);
           }
-          if (anon != m.id_field) continue;
+        }
+        if (!miss_idx.empty()) {
+          miss_ids.clear();
+          for (std::size_t i : miss_idx) miss_ids.push_back(eligible[i]);
+          lane_out.resize(miss_ids.size() * cfg.anon_len);
+          crypto::anon_id_batch(keys, p.report, miss_ids, cfg.anon_len,
+                                lane_out.data());
+          for (std::size_t k = 0; k < miss_idx.size(); ++k) {
+            const std::uint8_t* v = lane_out.data() + k * cfg.anon_len;
+            anons[miss_idx[k]].assign(v, v + cfg.anon_len);
+            if (cache)
+              cache->insert(rkey, miss_ids[k], cfg.anon_len, anons[miss_idx[k]]);
+          }
+        }
+
+        for (std::size_t i = 0; i < eligible.size(); ++i) {
+          NodeId candidate = eligible[i];
+          ++local.prf_evaluations;
+          if (cache && was_hit[i]) {
+            metrics.add(util::Metric::kCacheHits);
+          } else {
+            if (cache) metrics.add(util::Metric::kCacheMisses);
+            metrics.add(util::Metric::kPrfEvals);
+          }
+          if (anons[i] != m.id_field) continue;
           ++local.mac_checks;
           metrics.add(util::Metric::kMacChecks);
           if (keys.hmac_key(candidate).verify(input, m.mac)) {

@@ -50,6 +50,11 @@
 //                              (loadable in Perfetto / chrome://tracing)
 //   --metrics-every-ms N       also report a JSON metrics line to stderr
 //                              every N ms while the command runs
+//   --sha-backend B            pin the SHA-256 engine to one dispatch rung
+//                              (scalar|sse2|avx2|shani); same effect as
+//                              PNM_FORCE_SHA_BACKEND, flag wins. Verdicts
+//                              and digests are backend-independent — this
+//                              only changes speed.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -61,6 +66,7 @@
 
 #include "analysis/models.h"
 #include "core/campaign.h"
+#include "crypto/sha256_multi.h"
 #include "ingest/replay.h"
 #include "obs/exposition.h"
 #include "obs/span.h"
@@ -375,7 +381,7 @@ int cmd_replay(const Args& args) {
   pnm::ingest::ReplayOptions opts;
   opts.threads = args.num("threads", 1);
   opts.scoped = args.num("scoped", 0) != 0;
-  opts.batch_size = args.num("batch", 64);
+  opts.batch_size = args.num("batch", 256);
   opts.counters = &pnm::util::Counters::global();
   auto r = pnm::ingest::replay_file(in_path, opts);
   if (!r.ok) {
@@ -498,12 +504,31 @@ int main(int argc, char** argv) {
                  "usage: %s <experiment|campaign|matrix|model|verify|record|replay|"
                  "trace-stat|list> [--flag value ...]\n"
                  "       [--metrics-out FILE] [--metrics-format json|prom]\n"
+                 "       [--sha-backend scalar|sse2|avx2|shani]\n"
                  "       [--span-trace FILE] [--metrics-every-ms N]\n",
                  argv[0]);
     return 2;
   }
   std::string cmd = argv[1];
   Args args = parse(argc, argv, 2);
+
+  std::string backend_name = args.str("sha-backend", "");
+  if (!backend_name.empty()) {
+    auto parsed = pnm::crypto::parse_sha_backend(backend_name);
+    if (!parsed) {
+      std::fprintf(stderr, "unknown --sha-backend '%s' (scalar|sse2|avx2|shani)\n",
+                   backend_name.c_str());
+      return 2;
+    }
+    if (!pnm::crypto::sha_backend_supported(*parsed)) {
+      std::fprintf(stderr,
+                   "--sha-backend %s not supported on this CPU; using %s\n",
+                   backend_name.c_str(),
+                   pnm::crypto::sha_backend_name(pnm::crypto::active_sha_backend()));
+    } else {
+      pnm::crypto::force_sha_backend(*parsed);
+    }
+  }
 
   std::string span_path = args.str("span-trace", "");
   if (!span_path.empty()) pnm::obs::SpanCollector::global().enable();

@@ -6,8 +6,12 @@
 //   BM_TraceRead       — raw reader rate: frame + CRC + record decode only;
 //                        the format-overhead ceiling.
 //   BM_TraceDecode     — reader + net::decode_packet: the producer half.
-//   BM_ReplayPipeline  — the full lane (decode → queue → verify → fold) on a
-//                        PNM chain workload, thread sweep.
+//   BM_ReplayPipeline  — the full lane (decode → shard queues → per-lane
+//                        verify → deterministic merge) on a multi-flow PNM
+//                        chain workload, swept over flow-affine shard counts
+//                        {1,2,4,8} (verifier threads pinned to 1 per lane, so
+//                        the sweep isolates the sharded-ingest scaling the
+//                        ROADMAP's 1M rec/s story rests on).
 //   BM_ReplayPipelineNested — same lane, deterministic nested scheme: MAC
 //                        checks only, no anon-ID table; isolates pipeline
 //                        overhead from PNM's verification cost.
@@ -47,9 +51,12 @@ pnm::Bytes master() { return pnm::Bytes{0xaa, 0xbb, 0xcc}; }
 
 // One in-memory trace per (scheme, hops, records) shape: distinct-report
 // packets marked along a chain, the stream a recorded injection flood yields.
+// Reports rotate through `flows` claimed origin locations — the many-moles /
+// many-users shape the flow-affine shard router load-balances on (a single
+// flow would pin every record to one shard lane by design).
 std::string build_trace(const pnm::marking::MarkingScheme& scheme,
                         const pnm::crypto::KeyStore& keys, std::size_t hops,
-                        std::size_t records) {
+                        std::size_t records, std::size_t flows = 64) {
   pnm::Rng rng(4242);
   std::ostringstream out;
   pnm::trace::TraceMeta meta;
@@ -58,7 +65,8 @@ std::string build_trace(const pnm::marking::MarkingScheme& scheme,
   pnm::trace::TraceWriter writer(out, meta);
   for (std::size_t n = 0; n < records; ++n) {
     pnm::net::Packet p;
-    p.report = pnm::net::Report{static_cast<std::uint32_t>(n), 3, 3, n}.encode();
+    auto loc = static_cast<std::uint16_t>(3 + n % flows);
+    p.report = pnm::net::Report{static_cast<std::uint32_t>(n), loc, 3, n}.encode();
     for (std::size_t h = hops; h >= 1; --h) {
       auto v = static_cast<pnm::NodeId>(h);
       scheme.mark(p, v, keys.key_unchecked(v), rng);
@@ -118,7 +126,7 @@ BENCHMARK(BM_TraceDecode);
 
 void replay_pipeline_bench(benchmark::State& state, pnm::marking::SchemeKind kind,
                            pnm::sink::BatchStrategy strategy) {
-  std::size_t threads = static_cast<std::size_t>(state.range(0));
+  std::size_t shards = static_cast<std::size_t>(state.range(0));
   std::size_t hops = 10, records = 4096;
   pnm::net::Topology topo = pnm::net::Topology::chain(hops);
   pnm::crypto::KeyStore keys(master(), topo.node_count());
@@ -132,17 +140,19 @@ void replay_pipeline_bench(benchmark::State& state, pnm::marking::SchemeKind kin
     std::istringstream in(blob);
     pnm::trace::TraceReader reader(in);
     pnm::sink::BatchVerifierConfig bcfg;
-    bcfg.threads = threads;
+    bcfg.threads = 1;  // one inline verifier per lane; the sweep is shards
     bcfg.strategy = strategy;
-    pnm::sink::BatchVerifier verifier(*scheme, keys, bcfg, &topo);
+    pnm::sink::VerifierBank bank(*scheme, keys, shards, bcfg, &topo);
     pnm::sink::TracebackEngine engine(*scheme, keys, topo);
-    pnm::ingest::Pipeline pipeline(verifier, &engine);
+    pnm::ingest::PipelineConfig pcfg;
+    pcfg.shards = shards;
+    pnm::ingest::Pipeline pipeline(bank, &engine, pcfg);
     auto stats = pipeline.run_from_trace(reader);
     replayed += stats.records;
     benchmark::DoNotOptimize(stats.records);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(replayed));
-  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["shards"] = static_cast<double>(shards);
   state.counters["records_per_s"] =
       benchmark::Counter(static_cast<double>(replayed), benchmark::Counter::kIsRate);
 }
@@ -156,11 +166,13 @@ BENCHMARK(BM_ReplayPipeline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 // The §7 production path: topology-scoped ring search, O(degree) per mark.
 // This is the configuration the ≥100k records/s acceptance bar targets
 // (`pnm replay --scoped 1`); exhaustive above is the all-schemes fallback.
+// Swept over the same {1,2,4,8} arg set as BM_ReplayPipeline so
+// scripts/bench_compare.py sees one key set across both series.
 void BM_ReplayPipelineScoped(benchmark::State& state) {
   replay_pipeline_bench(state, pnm::marking::SchemeKind::kPnm,
                         pnm::sink::BatchStrategy::kScoped);
 }
-BENCHMARK(BM_ReplayPipelineScoped)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+BENCHMARK(BM_ReplayPipelineScoped)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 void BM_ReplayPipelineNested(benchmark::State& state) {
   replay_pipeline_bench(state, pnm::marking::SchemeKind::kNested,

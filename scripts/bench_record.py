@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Record the sink/replay benchmark suite into BENCH_5.json.
+"""Record the sink/replay benchmark suite into BENCH_6.json.
 
 Runs bench/sink_throughput and bench/replay_throughput twice each — once with
 the SHA-256 engine pinned to the scalar rung (PNM_FORCE_SHA_BACKEND=scalar)
@@ -11,7 +11,16 @@ the auto/scalar speedups for the headline series:
   * BM_BatchVerify/1/real_time  — single-thread batch verification
                                   (target: >= 2x over forced-scalar)
 
-Usage: scripts/bench_record.py [--build-dir build] [--out BENCH_5.json]
+The replay filter captures the full BM_ReplayPipeline* family, which since
+the sharded-ingest rework sweeps flow-affine shard counts {1,2,4,8} (arg =
+shards, one inline verifier per lane), so every BENCH_<n>.json from 6 on
+carries the shard-scaling trajectory rows that scripts/bench_compare.py
+diffs between revisions. The record also stores a "shard_scaling" summary
+(records/s at 1 vs max shards) with the recording machine's core count for
+context — shard scaling is physically bounded by num_cpus, so single-core
+recorders show ~1x and that is expected, not a regression.
+
+Usage: scripts/bench_record.py [--build-dir build] [--out BENCH_6.json]
                                [--min-time 0.5]
 
 The output JSON is committed next to the benchmarks it describes and uploaded
@@ -76,11 +85,31 @@ def times_by_name(doc):
     return out
 
 
+def merge_fastest(a, b):
+    """Per-key fastest of two times_by_name() maps — the minimum is the
+    noise-robust statistic on shared/virtualized recorders, where slowdowns
+    are external interference and the fastest observation is closest to the
+    code's true cost."""
+    out = dict(a)
+    for name, row in b.items():
+        if name not in out or row["real_time_ns"] < out[name]["real_time_ns"]:
+            out[name] = row
+    return out
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--build-dir", default="build")
-    ap.add_argument("--out", default="BENCH_5.json")
+    ap.add_argument("--out", default="BENCH_6.json")
     ap.add_argument("--min-time", default="0.5")
+    ap.add_argument(
+        "--best-of",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run each suite N times and keep the fastest time per benchmark "
+        "(de-noises shared/virtualized recorders)",
+    )
     ap.add_argument(
         "--check",
         action="store_true",
@@ -93,12 +122,17 @@ def main():
         binary = os.path.join(args.build_dir, "bench", suite)
         if not os.path.exists(binary):
             raise SystemExit(f"missing benchmark binary: {binary} (build it first)")
-        scalar = run_bench(binary, bench_filter, args.min_time, "scalar")
-        auto = run_bench(binary, bench_filter, args.min_time, None)
+        scalar, auto, context = {}, {}, {}
+        for _ in range(max(1, args.best_of)):
+            scalar_doc = run_bench(binary, bench_filter, args.min_time, "scalar")
+            auto_doc = run_bench(binary, bench_filter, args.min_time, None)
+            scalar = merge_fastest(scalar, times_by_name(scalar_doc))
+            auto = merge_fastest(auto, times_by_name(auto_doc))
+            context = auto_doc.get("context", {})
         record["suites"][suite] = {
-            "context": auto.get("context", {}),
-            "scalar": times_by_name(scalar),
-            "auto": times_by_name(auto),
+            "context": context,
+            "scalar": scalar,
+            "auto": auto,
         }
 
     ok = True
@@ -122,6 +156,30 @@ def main():
             record["speedups"][name] = {"error": "benchmark not found"}
             ok = False
 
+    # Shard-scaling summary: full-lane records/s at 1 shard vs the widest
+    # swept shard count, recorded with the machine's core count for context.
+    # Scaling is physically bounded by num_cpus — a 1-core recorder shows ~1x
+    # by construction — so this is informational and never gated by --check;
+    # CI judges shard scaling on its own multi-core runners.
+    replay = record["suites"].get("replay_throughput", {})
+    shard_rates = {}
+    for name, row in replay.get("auto", {}).items():
+        if name.startswith("BM_ReplayPipeline/") and row.get("items_per_second"):
+            arg = name.split("/")[1]
+            if arg.isdigit():
+                shard_rates[int(arg)] = row["items_per_second"]
+    if shard_rates:
+        lo, hi = min(shard_rates), max(shard_rates)
+        record["shard_scaling"] = {
+            "benchmark": "BM_ReplayPipeline",
+            "num_cpus": replay.get("context", {}).get("num_cpus"),
+            "records_per_s": {str(k): round(v, 1) for k, v in shard_rates.items()},
+            "speedup_at_max_shards": round(shard_rates[hi] / shard_rates[lo], 3)
+            if shard_rates[lo]
+            else None,
+            "shards": {"min": lo, "max": hi},
+        }
+
     with open(args.out, "w") as f:
         json.dump(record, f, indent=2, sort_keys=True)
         f.write("\n")
@@ -134,6 +192,12 @@ def main():
             )
         else:
             print(f"{name}: MISSING")
+    if "shard_scaling" in record:
+        ss = record["shard_scaling"]
+        print(
+            f"shard scaling: {ss['speedup_at_max_shards']}x at "
+            f"{ss['shards']['max']} shards (num_cpus={ss['num_cpus']})"
+        )
     print(f"wrote {args.out}")
     if args.check and not ok:
         raise SystemExit("headline speedup target missed")

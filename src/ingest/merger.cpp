@@ -1,0 +1,86 @@
+#include "ingest/merger.h"
+
+#include <chrono>
+
+#include "net/wire.h"
+#include "obs/span.h"
+
+namespace pnm::ingest {
+
+Bytes fold_fingerprint(const net::Packet& p, const marking::VerifyResult& vr) {
+  ByteWriter w;
+  w.blob16(net::encode_packet(p));
+  w.u16(p.delivered_by);
+  w.u16(static_cast<std::uint16_t>(vr.chain.size()));
+  for (const marking::VerifiedMark& m : vr.chain) {
+    w.u16(m.node);
+    w.u32(static_cast<std::uint32_t>(m.mark_index));
+  }
+  w.u32(static_cast<std::uint32_t>(vr.total_marks));
+  w.u32(static_cast<std::uint32_t>(vr.invalid_marks));
+  w.u8(vr.truncated_by_invalid ? 1 : 0);
+  return std::move(w).take();
+}
+
+TracebackMerger::TracebackMerger(sink::TracebackEngine* engine,
+                                 obs::Histogram* merge_us)
+    : engine_(engine), merge_us_(merge_us) {}
+
+void TracebackMerger::submit(std::vector<FoldEntry> entries) {
+  if (entries.empty()) return;
+  PNM_SPAN("ingest_merge");
+  std::chrono::steady_clock::time_point t0;
+  if constexpr (obs::kMetricsEnabled) t0 = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (FoldEntry& e : entries) buffer_.push(std::move(e));
+  if (buffer_.size() > max_pending_) max_pending_ = buffer_.size();
+  drain_ready_locked();
+
+  if constexpr (obs::kMetricsEnabled) {
+    if (merge_us_) {
+      auto t1 = std::chrono::steady_clock::now();
+      merge_us_->record_us(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  }
+}
+
+void TracebackMerger::drain_ready_locked() {
+  while (!buffer_.empty() && buffer_.top().seq == next_seq_) {
+    const FoldEntry& e = buffer_.top();
+    if (!e.dropped) {
+      if (engine_) engine_->fold(e.delivered_by, e.verdict);
+      digest_.update(e.fingerprint);
+      ++folded_;
+    }
+    ++next_seq_;
+    buffer_.pop();
+  }
+}
+
+std::size_t TracebackMerger::folded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return folded_;
+}
+
+std::size_t TracebackMerger::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+std::size_t TracebackMerger::max_pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_pending_;
+}
+
+std::string TracebackMerger::digest_hex() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (digest_hex_.empty()) {
+    crypto::Sha256Digest d = digest_.finish();
+    digest_hex_ = to_hex(ByteView(d.data(), d.size()));
+  }
+  return digest_hex_;
+}
+
+}  // namespace pnm::ingest

@@ -1,0 +1,94 @@
+// Deterministic traceback merge: recombining sharded ingest lanes.
+//
+// Each shard lane verifies its flows independently and emits FoldEntry
+// records — the verdict, the previous hop, and the pre-serialized digest
+// fingerprint bytes — tagged with the global arrival sequence number the
+// producer assigned at enqueue time. The merger holds a reorder buffer (a
+// min-heap on seq) and applies entries strictly in sequence order: the
+// running SHA-256 sees exactly the byte stream the serial single-consumer
+// pipeline fed it, and the TracebackEngine receives exactly the serial fold
+// sequence. That is the whole determinism argument: shard count, lane
+// scheduling and completion interleaving only decide *when* an entry reaches
+// the buffer, never the order it is applied — so the verdict digest is
+// byte-identical for every shard count (tests/ingest_test.cpp submits shard
+// accumulators in randomized completion order and asserts exactly this).
+//
+// The buffer is bounded in practice by upstream backpressure: the producer
+// assigns sequence numbers in push order and blocks on the full queue of the
+// lane that is behind, so lanes can run ahead of the merge frontier by at
+// most their queue capacity plus one in-flight batch each.
+#pragma once
+
+#include <mutex>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "marking/scheme.h"
+#include "net/report.h"
+#include "obs/metrics.h"
+#include "sink/traceback.h"
+
+namespace pnm::ingest {
+
+/// One record's contribution to the merged state, produced by a shard lane.
+struct FoldEntry {
+  std::uint64_t seq = 0;              ///< global arrival sequence number
+  NodeId delivered_by = kInvalidNode;
+  marking::VerifyResult verdict;
+  Bytes fingerprint;  ///< digest bytes: (wire, delivered_by, verdict)
+  /// A sequence number consumed by a record that never reached a lane (push
+  /// raced close). The merge skips it so the frontier can't stall; dropped
+  /// entries contribute nothing to the digest or the traceback state.
+  bool dropped = false;
+};
+
+/// The digest fingerprint bytes for one verified record — the exact encoding
+/// the pre-shard serial pipeline hashed, kept in one place so lanes, tests
+/// and any future live sink agree byte-for-byte.
+Bytes fold_fingerprint(const net::Packet& p, const marking::VerifyResult& vr);
+
+class TracebackMerger {
+ public:
+  /// `engine` may be null (pure throughput runs — digest only). `merge_us`
+  /// optionally receives one latency sample per draining submit.
+  explicit TracebackMerger(sink::TracebackEngine* engine,
+                           obs::Histogram* merge_us = nullptr);
+
+  /// Thread-safe. Entries may arrive in any order across calls and within a
+  /// call; every sequence number must eventually be submitted exactly once.
+  void submit(std::vector<FoldEntry> entries);
+
+  /// Entries applied to the digest/engine so far.
+  std::size_t folded() const;
+  /// Entries currently buffered ahead of the merge frontier.
+  std::size_t pending() const;
+  /// Deepest the reorder buffer ever got (the lane-skew telemetry).
+  std::size_t max_pending() const;
+
+  /// Hex SHA-256 over every applied fingerprint in sequence order.
+  /// Finalizes on first call (idempotent afterwards); call once lanes quit.
+  std::string digest_hex();
+
+ private:
+  struct SeqAfter {
+    bool operator()(const FoldEntry& a, const FoldEntry& b) const {
+      return a.seq > b.seq;  // min-heap on seq
+    }
+  };
+
+  void drain_ready_locked();
+
+  mutable std::mutex mu_;
+  std::priority_queue<FoldEntry, std::vector<FoldEntry>, SeqAfter> buffer_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t folded_ = 0;
+  std::size_t max_pending_ = 0;
+  sink::TracebackEngine* engine_;
+  obs::Histogram* merge_us_;
+  crypto::Sha256 digest_;
+  std::string digest_hex_;
+};
+
+}  // namespace pnm::ingest

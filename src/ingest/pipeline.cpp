@@ -1,6 +1,7 @@
 #include "ingest/pipeline.h"
 
 #include <chrono>
+#include <exception>
 #include <thread>
 
 #include "net/wire.h"
@@ -8,80 +9,192 @@
 
 namespace pnm::ingest {
 
+namespace {
+
+std::size_t clamp_shards(std::size_t requested, std::size_t lanes) {
+  if (requested == 0) requested = 1;
+  return requested < lanes ? requested : lanes;
+}
+
+}  // namespace
+
 Pipeline::Pipeline(sink::BatchVerifier& verifier, sink::TracebackEngine* traceback,
                    PipelineConfig cfg, util::Counters* counters)
-    : verifier_(verifier),
+    : lanes_{&verifier},
       traceback_(traceback),
       cfg_(cfg),
       counters_(counters ? counters : &verifier.counters()),
+      router_(1),
       queue_depth_(&counters_->registry().gauge("ingest_queue_depth")),
       batch_fold_us_(&counters_->registry().histogram("ingest_batch_fold_us")),
-      queue_(cfg.queue_capacity) {
+      shard_imbalance_ppm_(
+          &counters_->registry().histogram("ingest_shard_imbalance_ppm")),
+      merger_(traceback, &counters_->registry().histogram("ingest_merge_us")) {
+  cfg_.shards = 1;
+  init_lanes();
+}
+
+Pipeline::Pipeline(sink::VerifierBank& bank, sink::TracebackEngine* traceback,
+                   PipelineConfig cfg, util::Counters* counters)
+    : traceback_(traceback),
+      cfg_(cfg),
+      counters_(counters ? counters : &bank.counters()),
+      router_(clamp_shards(cfg.shards, bank.lanes())),
+      queue_depth_(&counters_->registry().gauge("ingest_queue_depth")),
+      batch_fold_us_(&counters_->registry().histogram("ingest_batch_fold_us")),
+      shard_imbalance_ppm_(
+          &counters_->registry().histogram("ingest_shard_imbalance_ppm")),
+      merger_(traceback, &counters_->registry().histogram("ingest_merge_us")) {
+  cfg_.shards = router_.shards();
+  lanes_.reserve(cfg_.shards);
+  for (std::size_t i = 0; i < cfg_.shards; ++i) lanes_.push_back(&bank.lane(i));
+  init_lanes();
+}
+
+void Pipeline::init_lanes() {
   if (cfg_.batch_size == 0) cfg_.batch_size = 256;
+  std::size_t n = lanes_.size();
+  queues_.reserve(n);
+  lane_depth_.reserve(n);
+  lane_records_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    queues_.push_back(std::make_unique<BoundedQueue<Item>>(cfg_.queue_capacity));
+    lane_depth_.push_back(&counters_->registry().gauge(
+        "ingest_queue_depth_shard" + std::to_string(i)));
+  }
+  stats_.shards = n;
 }
 
 bool Pipeline::push(net::Packet&& p, double time_s) {
-  return queue_.push(Item{std::move(p), time_s});
+  std::size_t lane = router_.shard_of(p);
+  std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (queues_[lane]->push(Item{seq, std::move(p), time_s})) return true;
+  // The queue was closed after the sequence number was taken: tombstone it
+  // so the merge frontier can advance past the gap.
+  std::vector<FoldEntry> tomb(1);
+  tomb[0].seq = seq;
+  tomb[0].dropped = true;
+  merger_.submit(std::move(tomb));
+  return false;
 }
 
-void Pipeline::close() { queue_.close(); }
+void Pipeline::close() {
+  for (auto& q : queues_) q->close();
+}
 
-void Pipeline::fold_batch(std::vector<Item>& items) {
-  PNM_SPAN("ingest_fold_batch");
-  std::chrono::steady_clock::time_point t0;
-  if constexpr (obs::kMetricsEnabled) t0 = std::chrono::steady_clock::now();
+void Pipeline::sample_queue_depths(std::size_t lane) {
+  std::size_t own = queues_[lane]->size();
+  lane_depth_[lane]->set(static_cast<std::int64_t>(own));
+  std::size_t total = own;
+  for (std::size_t i = 0; i < queues_.size(); ++i)
+    if (i != lane) total += queues_[i]->size();
+  queue_depth_->set(static_cast<std::int64_t>(total));
+}
+
+void Pipeline::run_lane(std::size_t lane) {
+  PNM_SPAN("pipeline_lane");
+  sink::BatchVerifier& verifier = *lanes_[lane];
+  std::vector<Item> batch;
+  batch.reserve(cfg_.batch_size);
   std::vector<net::Packet> packets;
-  packets.reserve(items.size());
-  for (Item& it : items) packets.push_back(std::move(it.packet));
+  while (queues_[lane]->pop_up_to(cfg_.batch_size, batch)) {
+    sample_queue_depths(lane);
+    {
+      PNM_SPAN("ingest_fold_batch");
+      std::chrono::steady_clock::time_point t0;
+      if constexpr (obs::kMetricsEnabled) t0 = std::chrono::steady_clock::now();
 
-  std::vector<marking::VerifyResult> verdicts = verifier_.verify_batch(packets);
+      packets.clear();
+      packets.reserve(batch.size());
+      for (Item& it : batch) packets.push_back(std::move(it.packet));
 
-  // Arrival order is batch order; fold and fingerprint in that order so the
-  // downstream state is independent of verifier thread count.
-  for (std::size_t i = 0; i < packets.size(); ++i) {
-    const net::Packet& p = packets[i];
-    const marking::VerifyResult& vr = verdicts[i];
-    if (traceback_) traceback_->fold(p, vr);
+      std::vector<marking::VerifyResult> verdicts = verifier.verify_batch(packets);
 
-    ByteWriter w;
-    w.blob16(net::encode_packet(p));
-    w.u16(p.delivered_by);
-    w.u16(static_cast<std::uint16_t>(vr.chain.size()));
-    for (const marking::VerifiedMark& m : vr.chain) {
-      w.u16(m.node);
-      w.u32(static_cast<std::uint32_t>(m.mark_index));
+      // Pre-serialize each record's digest contribution here, in parallel
+      // across lanes; the merger applies them in global sequence order.
+      std::vector<FoldEntry> entries;
+      entries.reserve(batch.size());
+      for (std::size_t i = 0; i < packets.size(); ++i) {
+        FoldEntry e;
+        e.seq = batch[i].seq;
+        e.delivered_by = packets[i].delivered_by;
+        e.fingerprint = fold_fingerprint(packets[i], verdicts[i]);
+        e.verdict = std::move(verdicts[i]);
+        entries.push_back(std::move(e));
+      }
+      lane_records_[lane] += batch.size();
+      counters_->add(util::Metric::kIngestRecords, batch.size());
+      merger_.submit(std::move(entries));
+
+      if constexpr (obs::kMetricsEnabled) {
+        auto t1 = std::chrono::steady_clock::now();
+        batch_fold_us_->record_us(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
     }
-    w.u32(static_cast<std::uint32_t>(vr.total_marks));
-    w.u32(static_cast<std::uint32_t>(vr.invalid_marks));
-    w.u8(vr.truncated_by_invalid ? 1 : 0);
-    digest_.update(w.bytes());
-  }
-  stats_.records += packets.size();
-  counters_->add(util::Metric::kIngestRecords, packets.size());
-  if constexpr (obs::kMetricsEnabled) {
-    auto t1 = std::chrono::steady_clock::now();
-    batch_fold_us_->record_us(
-        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    batch.clear();
   }
 }
 
 void Pipeline::run() {
   PNM_SPAN("pipeline_run");
   auto t0 = std::chrono::steady_clock::now();
-  std::vector<Item> batch;
-  batch.reserve(cfg_.batch_size);
-  while (queue_.pop_up_to(cfg_.batch_size, batch)) {
-    queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
-    fold_batch(batch);
-    batch.clear();
+
+  std::size_t n = lanes_.size();
+  std::exception_ptr lane_error;
+  std::mutex error_mu;
+  std::vector<std::thread> extra;
+  extra.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t lane = 1; lane < n; ++lane) {
+    extra.emplace_back([this, lane, &lane_error, &error_mu] {
+      try {
+        run_lane(lane);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!lane_error) lane_error = std::current_exception();
+        // A dead lane can never drain its queue; unblock producers and the
+        // sibling lanes so run() can surface the error instead of hanging.
+        close();
+      }
+    });
   }
+  try {
+    run_lane(0);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!lane_error) lane_error = std::current_exception();
+    close();
+  }
+  for (auto& t : extra) t.join();
+  if (lane_error) std::rethrow_exception(lane_error);
+
   auto t1 = std::chrono::steady_clock::now();
+  stats_.records = 0;
+  std::size_t max_lane = 0;
+  for (std::size_t r : lane_records_) {
+    stats_.records += r;
+    if (r > max_lane) max_lane = r;
+  }
+  stats_.shard_records = lane_records_;
+  stats_.merge_max_pending = merger_.max_pending();
   stats_.elapsed_s += std::chrono::duration<double>(t1 - t0).count();
   stats_.records_per_s =
       stats_.elapsed_s > 0.0 ? static_cast<double>(stats_.records) / stats_.elapsed_s
                              : 0.0;
-  stats_.queue_high_water = queue_.high_water();
-  counters_->update_max(util::Metric::kIngestQueueHighWater, queue_.high_water());
+  stats_.queue_high_water = 0;
+  for (auto& q : queues_)
+    if (q->high_water() > stats_.queue_high_water)
+      stats_.queue_high_water = q->high_water();
+  counters_->update_max(util::Metric::kIngestQueueHighWater, stats_.queue_high_water);
+  if constexpr (obs::kMetricsEnabled) {
+    // How far the busiest lane ran over an even split, in parts-per-million:
+    // 0 = perfectly balanced, 1e6 = one lane did 2x its fair share.
+    if (stats_.records > 0) {
+      double ideal = static_cast<double>(stats_.records) / static_cast<double>(n);
+      double over = (static_cast<double>(max_lane) - ideal) / ideal;
+      shard_imbalance_ppm_->record(static_cast<std::uint64_t>(over * 1e6));
+    }
+  }
 }
 
 PipelineStats Pipeline::run_from_trace(trace::TraceReader& reader) {
@@ -124,12 +237,6 @@ PipelineStats Pipeline::run_from_trace(trace::TraceReader& reader) {
   return stats_;
 }
 
-std::string Pipeline::verdict_digest() {
-  if (digest_hex_.empty()) {
-    crypto::Sha256Digest d = digest_.finish();
-    digest_hex_ = to_hex(ByteView(d.data(), d.size()));
-  }
-  return digest_hex_;
-}
+std::string Pipeline::verdict_digest() { return merger_.digest_hex(); }
 
 }  // namespace pnm::ingest

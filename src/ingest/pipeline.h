@@ -1,29 +1,43 @@
-// Streaming ingest pipeline: the sink's intake lane.
+// Streaming ingest pipeline: the sink's intake lane, sharded by flow.
 //
-//   producer(s)                consumer (one thread)
-//   TraceReader / live tap --> BoundedQueue --> BatchVerifier --> Traceback
-//        decode + meter       backpressure      thread pool      fold in order
+//   producer(s)         shard lanes (N threads)          deterministic merge
+//   TraceReader /   ┌→ queue₀ → decode batch → verify₀ ─┐
+//   live tap ──route┤→ queue₁ → decode batch → verify₁ ─┼→ TracebackMerger
+//    (seq, flow)    └→ queueₙ → decode batch → verifyₙ ─┘   (reorder by seq)
+//                                                            → digest + fold
 //
-// Producers push decoded packets (from a trace file or a live SinkHandler)
-// into a bounded queue; the consumer drains them in FIFO batches through
-// sink::BatchVerifier and folds every verdict into the TracebackEngine in
-// arrival order — so the accusation state evolves exactly as it would under
-// the serial live sink, regardless of verifier thread count.
+// Producers push decoded packets into per-flow-sharded bounded queues: the
+// ShardRouter hashes each record's flow identity (claimed origin location +
+// previous hop) to a lane, and every push is stamped with a global arrival
+// sequence number. Each lane independently drains FIFO batches through its
+// own sink::BatchVerifier handle (private PrfCache — flow affinity keeps a
+// flow's PRF probes hot in one cache) and pre-serializes each record's
+// digest fingerprint; the TracebackMerger then applies entries strictly in
+// sequence order, so the SHA-256 verdict digest and the TracebackEngine
+// state are byte-identical to the single-consumer serial pipeline for every
+// shard count, batch size and lane interleaving (tests/ingest_test.cpp and
+// the CI determinism matrix assert this across shards {1,2,8}).
 //
-// A running SHA-256 over (wire image, delivered_by, verdict) of every packet
-// gives a determinism fingerprint: two replays of the same trace must agree
-// byte-for-byte, serial or parallel (tests/ingest_test.cpp asserts this).
-// util::Counters meters records, decode/CRC failures and the queue's
-// high-water depth; the backing registry additionally carries an
-// `ingest_queue_depth` gauge (sampled after each drain) and an
-// `ingest_batch_fold_us` histogram (verify + fold latency per batch), and
-// the consumer loop is wrapped in PNM_SPAN scopes for --span-trace.
+// With cfg.shards == 1 the pipeline degenerates to the original shape: one
+// queue, the consumer on the calling thread, no extra threads spawned.
+//
+// Observability: per-shard `ingest_queue_depth_shard<i>` gauges plus the
+// aggregate `ingest_queue_depth` (sampled per drain), the
+// `ingest_batch_fold_us` histogram (verify + entry build per batch), an
+// `ingest_shard_imbalance_ppm` histogram (how far the busiest lane ran over
+// an even split, recorded once per run), an `ingest_merge_us` histogram and
+// an `ingest_merge` span for the merge step, and PNM_SPAN scopes around the
+// run and each lane for --span-trace.
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <string>
+#include <vector>
 
-#include "crypto/sha256.h"
 #include "ingest/bounded_queue.h"
+#include "ingest/merger.h"
+#include "ingest/shard_router.h"
 #include "sink/batch_verifier.h"
 #include "sink/traceback.h"
 #include "trace/reader.h"
@@ -32,7 +46,7 @@
 namespace pnm::ingest {
 
 struct PipelineConfig {
-  /// Packets buffered between producer and consumer before push() blocks.
+  /// Packets buffered per shard queue before push() blocks on that lane.
   std::size_t queue_capacity = 1024;
   /// Packets handed to BatchVerifier::verify_batch per drain. Sized so one
   /// drain feeds the multi-buffer SHA-256 engine enough candidate PRF/MAC
@@ -40,6 +54,10 @@ struct PipelineConfig {
   /// (CI replays the corpus at several sizes), so this is purely a
   /// throughput knob.
   std::size_t batch_size = 256;
+  /// Flow-affine ingest lanes. 1 = the single-consumer reference shape;
+  /// clamped to the verifier bank's lane count. Results are shard-count
+  /// invariant by construction.
+  std::size_t shards = 1;
 };
 
 /// Everything a pipeline run observed, for reporting and assertions.
@@ -50,34 +68,47 @@ struct PipelineStats {
   std::size_t bad_records = 0;      ///< CRC-clean frames with malformed payload
   bool truncated = false;           ///< stream ended mid-frame
   bool oversized = false;           ///< stream ended on an insane length prefix
-  std::size_t queue_high_water = 0;
+  std::size_t queue_high_water = 0; ///< deepest any shard queue got
+  std::size_t shards = 1;           ///< lanes the run actually used
+  std::vector<std::size_t> shard_records;  ///< per-lane record counts
+  std::size_t merge_max_pending = 0;  ///< reorder-buffer high water (lane skew)
   double elapsed_s = 0.0;
   double records_per_s = 0.0;
 };
 
 class Pipeline {
  public:
-  /// `traceback` may be null (pure verification throughput runs). The
-  /// verifier/traceback must outlive the pipeline. `counters` defaults to
-  /// the verifier's counters instance.
+  /// Single-verifier compatibility shape: one lane, cfg.shards forced to 1
+  /// (one BatchVerifier handle must never see concurrent verify_batch
+  /// calls). The verifier/traceback must outlive the pipeline. `counters`
+  /// defaults to the verifier's counters instance.
   Pipeline(sink::BatchVerifier& verifier, sink::TracebackEngine* traceback,
+           PipelineConfig cfg = {}, util::Counters* counters = nullptr);
+
+  /// Sharded shape: lane i drains through bank.lane(i). cfg.shards is
+  /// clamped to bank.lanes(). `traceback` may be null (pure verification
+  /// throughput runs).
+  Pipeline(sink::VerifierBank& bank, sink::TracebackEngine* traceback,
            PipelineConfig cfg = {}, util::Counters* counters = nullptr);
 
   // ---- producer side (any thread) ----
 
-  /// Blocking push with backpressure; false if the pipeline was closed.
+  /// Route, stamp with the next arrival sequence number, and block on the
+  /// target lane's queue with backpressure; false if the pipeline was
+  /// closed (the sequence number is tombstoned so the merge cannot stall).
   bool push(net::Packet&& p, double time_s);
-  /// Signal end of input; run() returns once the queue drains.
+  /// Signal end of input; run() returns once every lane drains.
   void close();
 
-  // ---- consumer side (exactly one thread) ----
+  // ---- consumer side (call run() from exactly one thread) ----
 
-  /// Drain until closed and empty, verifying batches and folding verdicts
-  /// in arrival order. Populates stats()/verdict_digest().
+  /// Drain until closed and empty: lane 0 runs on the calling thread,
+  /// lanes 1..N-1 on spawned threads, verdicts merged in arrival order.
+  /// Populates stats()/verdict_digest(). Lane exceptions rethrow here.
   void run();
 
   /// Convenience: spawns a producer thread that streams `reader` (decoding
-  /// and metering each record) and runs the consumer on the calling thread.
+  /// and metering each record) and runs the consumers on the calling thread.
   PipelineStats run_from_trace(trace::TraceReader& reader);
 
   /// Stats of the completed run (partial while running).
@@ -89,22 +120,29 @@ class Pipeline {
 
  private:
   struct Item {
+    std::uint64_t seq = 0;
     net::Packet packet;
     double time_s = 0.0;
   };
 
-  void fold_batch(std::vector<Item>& items);  // consumes the items' packets
+  void init_lanes();
+  void run_lane(std::size_t lane);
+  void sample_queue_depths(std::size_t lane);
 
-  sink::BatchVerifier& verifier_;
+  std::vector<sink::BatchVerifier*> lanes_;
   sink::TracebackEngine* traceback_;
   PipelineConfig cfg_;
   util::Counters* counters_;
-  obs::Gauge* queue_depth_;       ///< ingest_queue_depth, sampled per drain
-  obs::Histogram* batch_fold_us_; ///< ingest_batch_fold_us
-  BoundedQueue<Item> queue_;
+  ShardRouter router_;
+  obs::Gauge* queue_depth_;  ///< ingest_queue_depth (aggregate), per drain
+  std::vector<obs::Gauge*> lane_depth_;   ///< ingest_queue_depth_shard<i>
+  obs::Histogram* batch_fold_us_;         ///< ingest_batch_fold_us
+  obs::Histogram* shard_imbalance_ppm_;   ///< ingest_shard_imbalance_ppm
+  TracebackMerger merger_;
+  std::vector<std::unique_ptr<BoundedQueue<Item>>> queues_;
+  std::vector<std::size_t> lane_records_;  ///< written only by the owning lane
+  std::atomic<std::uint64_t> next_seq_{0};
   PipelineStats stats_;
-  crypto::Sha256 digest_;
-  std::string digest_hex_;  ///< cached once verdict_digest() finalizes
 };
 
 }  // namespace pnm::ingest

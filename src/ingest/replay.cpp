@@ -57,14 +57,16 @@ ReplayResult replay_trace(trace::TraceReader& reader, const ReplayOptions& opts)
   bcfg.threads = opts.threads;
   if (opts.scoped && *kind == marking::SchemeKind::kPnm)
     bcfg.strategy = sink::BatchStrategy::kScoped;
-  sink::BatchVerifier verifier(*scheme, keys, bcfg, &topo, counters);
+  std::size_t shards = opts.shards ? opts.shards : 1;
+  sink::VerifierBank bank(*scheme, keys, shards, bcfg, &topo, counters);
   sink::TracebackEngine engine(*scheme, keys, topo);
   engine.bind_metrics(counters->registry());
 
   PipelineConfig pcfg;
   pcfg.batch_size = opts.batch_size;
   pcfg.queue_capacity = opts.queue_capacity;
-  Pipeline pipeline(verifier, &engine, pcfg, counters);
+  pcfg.shards = shards;
+  Pipeline pipeline(bank, &engine, pcfg, counters);
 
   reader.rewind();
   ReplayResult result;

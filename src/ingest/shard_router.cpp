@@ -1,0 +1,37 @@
+#include "ingest/shard_router.h"
+
+namespace pnm::ingest {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a(ByteView data) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t ShardRouter::flow_hash(const net::Packet& p) {
+  std::uint64_t key;
+  if (auto report = net::Report::decode(ByteView(p.report))) {
+    key = (static_cast<std::uint64_t>(report->loc_x) << 32) |
+          (static_cast<std::uint64_t>(report->loc_y) << 16) |
+          static_cast<std::uint64_t>(p.delivered_by);
+  } else {
+    key = fnv1a(ByteView(p.report)) ^ static_cast<std::uint64_t>(p.delivered_by);
+  }
+  return splitmix64(key);
+}
+
+}  // namespace pnm::ingest

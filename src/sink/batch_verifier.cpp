@@ -99,4 +99,16 @@ std::vector<marking::VerifyResult> BatchVerifier::verify_batch(
   return results;
 }
 
+VerifierBank::VerifierBank(const marking::MarkingScheme& scheme,
+                           const crypto::KeyStore& keys, std::size_t lanes,
+                           BatchVerifierConfig cfg, const net::Topology* topo,
+                           util::Counters* counters) {
+  if (lanes == 0) lanes = 1;
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(
+        std::make_unique<BatchVerifier>(scheme, keys, cfg, topo, counters));
+  }
+}
+
 }  // namespace pnm::sink

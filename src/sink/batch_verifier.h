@@ -83,4 +83,27 @@ class BatchVerifier {
   std::unique_ptr<util::ThreadPool> pool_;  // created lazily, only if threads_ > 1
 };
 
+/// A bank of independent verifier handles over one (scheme, keys, topology):
+/// the shard-aware face of the batch engine. Each lane owns its PrfCache, so
+/// a flow-affine router gives every flow's PRF probes a private, contention-
+/// free cache that stays hot for that flow — and concurrent verify_batch
+/// calls on distinct lanes never share mutable state (each lane is its own
+/// BatchVerifier; the registry instruments they report into are the shared,
+/// thread-safe ones). Verdicts are lane-independent: every lane runs the
+/// exact same per-packet code path, so which lane verifies a packet can
+/// never change its result.
+class VerifierBank {
+ public:
+  VerifierBank(const marking::MarkingScheme& scheme, const crypto::KeyStore& keys,
+               std::size_t lanes, BatchVerifierConfig cfg = {},
+               const net::Topology* topo = nullptr, util::Counters* counters = nullptr);
+
+  std::size_t lanes() const { return lanes_.size(); }
+  BatchVerifier& lane(std::size_t i) { return *lanes_[i]; }
+  util::Counters& counters() { return lanes_.front()->counters(); }
+
+ private:
+  std::vector<std::unique_ptr<BatchVerifier>> lanes_;
+};
+
 }  // namespace pnm::sink

@@ -63,6 +63,15 @@ void OrderGraph::add_order(NodeId up, NodeId down) {
   }
 }
 
+void OrderGraph::merge(const OrderGraph& other) {
+  for (NodeId node : other.nodes_) observe(node);
+  for (std::size_t i = 0; i < other.nodes_.size(); ++i) {
+    for (std::size_t j = 0; j < other.nodes_.size(); ++j) {
+      if (other.direct_[i].test(j)) add_order(other.nodes_[i], other.nodes_[j]);
+    }
+  }
+}
+
 bool OrderGraph::reaches(NodeId from, NodeId to) const {
   auto fi = index_.find(from);
   auto ti = index_.find(to);

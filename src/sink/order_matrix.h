@@ -37,6 +37,16 @@ class OrderGraph {
   /// Records "up is upstream of down" direct evidence; self-edges ignored.
   void add_order(NodeId up, NodeId down);
 
+  /// Union-merge another graph's evidence into this one: node sightings plus
+  /// direct order edges, with the transitive closure maintained as usual.
+  /// Order evidence is a set union, so merging per-shard partial graphs in
+  /// any order yields exactly the relation (observed set, direct edges,
+  /// reachability, loops) a single graph fed all the evidence would hold —
+  /// the incrementally-mergeable-state property sharded ingest and partial
+  /// sink aggregation rely on. Dense node indices (and thus the order of
+  /// derived node lists) depend on merge order; the relation does not.
+  void merge(const OrderGraph& other);
+
   std::size_t observed_count() const { return index_.size(); }
   /// Number of distinct direct order edges recorded.
   std::size_t order_count() const { return order_count_; }

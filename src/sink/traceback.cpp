@@ -13,8 +13,12 @@ marking::VerifyResult TracebackEngine::ingest(const net::Packet& p) {
 }
 
 void TracebackEngine::fold(const net::Packet& p, const marking::VerifyResult& vr) {
+  fold(p.delivered_by, vr);
+}
+
+void TracebackEngine::fold(NodeId delivered_by, const marking::VerifyResult& vr) {
   ++packets_;
-  if (p.delivered_by != kInvalidNode) last_delivered_by_ = p.delivered_by;
+  if (delivered_by != kInvalidNode) last_delivered_by_ = delivered_by;
 
   std::size_t nodes_before = graph_.observed_count();
   std::size_t edges_before = graph_.order_count();

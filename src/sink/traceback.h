@@ -36,6 +36,13 @@ class TracebackEngine {
   /// re-verifying. `vr` must be the scheme's verdict for `p`.
   void fold(const net::Packet& p, const marking::VerifyResult& vr);
 
+  /// Same fold without the packet: everything fold() consumes from `p` is
+  /// the radio-layer previous hop, so sharded ingest lanes can ship compact
+  /// (delivered_by, verdict) entries to the merge step instead of whole
+  /// packets. Folding the same sequence through either overload yields
+  /// identical engine state.
+  void fold(NodeId delivered_by, const marking::VerifyResult& vr);
+
   /// Register accusation metrics on `registry`: every time the analysis
   /// reaches (or revises) an identification, the packet count it took lands
   /// in the `traceback_packets_to_accusation` histogram and

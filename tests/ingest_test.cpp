@@ -15,12 +15,20 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+#include <random>
+
 #include "core/campaign.h"
+#include "crypto/keys.h"
 #include "ingest/bounded_queue.h"
+#include "ingest/merger.h"
 #include "ingest/pipeline.h"
 #include "ingest/replay.h"
+#include "ingest/shard_router.h"
 #include "net/report.h"
 #include "net/wire.h"
+#include "sink/order_matrix.h"
+#include "sink/traceback.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
 
@@ -82,6 +90,201 @@ TEST(BoundedQueue, PushAfterCloseIsRejected) {
   EXPECT_TRUE(q.pop_up_to(8, batch));  // drains the pre-close item
   EXPECT_EQ(batch.size(), 1u);
   EXPECT_FALSE(q.pop_up_to(8, batch));  // closed and drained
+}
+
+// ---------------------------------------------------------------------------
+// ShardRouter: flow affinity and balance.
+
+net::Packet flow_packet(std::uint16_t loc_x, std::uint16_t loc_y, NodeId hop,
+                        std::uint32_t event) {
+  net::Packet p;
+  p.report = net::Report{event, loc_x, loc_y, event}.encode();
+  p.delivered_by = hop;
+  return p;
+}
+
+TEST(ShardRouter, AllRecordsOfOneFlowLandOnOneShard) {
+  // A flow = (claimed origin location, previous hop). Event/timestamp vary
+  // per record — they must not affect routing.
+  for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    ingest::ShardRouter router(shards);
+    std::size_t home = router.shard_of(flow_packet(7, 9, 3, 0));
+    for (std::uint32_t event = 1; event < 200; ++event) {
+      EXPECT_EQ(router.shard_of(flow_packet(7, 9, 3, event)), home)
+          << "shards=" << shards << " event=" << event;
+    }
+  }
+}
+
+TEST(ShardRouter, DistinctFlowsSpreadAcrossShards) {
+  // 64 flows over 8 shards: every shard must see work, and no shard may
+  // hoard more than half the flows (loose bounds — the hash is fixed, so
+  // this is a deterministic property of the router, not a flaky statistic).
+  ingest::ShardRouter router(8);
+  std::vector<std::size_t> per_shard(8, 0);
+  for (std::uint16_t f = 0; f < 64; ++f)
+    ++per_shard[router.shard_of(flow_packet(static_cast<std::uint16_t>(3 + f), 3, 1, f))];
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_GE(per_shard[s], 1u) << "shard " << s << " got no flows";
+    EXPECT_LE(per_shard[s], 32u) << "shard " << s << " hoards flows";
+  }
+}
+
+TEST(ShardRouter, UndecodableReportStillRoutesDeterministically) {
+  ingest::ShardRouter router(4);
+  net::Packet garbled;
+  garbled.report = Bytes{0x01, 0x02, 0x03};  // too short for a Report
+  garbled.delivered_by = 5;
+  std::size_t first = router.shard_of(garbled);
+  EXPECT_EQ(router.shard_of(garbled), first);
+  EXPECT_LT(first, 4u);
+}
+
+TEST(ShardRouter, SingleShardRoutesEverythingToLaneZero) {
+  ingest::ShardRouter router(1);
+  for (std::uint16_t f = 0; f < 32; ++f)
+    EXPECT_EQ(router.shard_of(flow_packet(f, f, f, f)), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// TracebackMerger: deterministic recombination of shard accumulators.
+
+// Build synthetic fold entries over a small chain: entry i's chain walks two
+// consecutive nodes, so order evidence accumulates exactly as a real verified
+// stream's would.
+std::vector<ingest::FoldEntry> synthetic_entries(std::size_t count) {
+  std::vector<ingest::FoldEntry> entries;
+  entries.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ingest::FoldEntry e;
+    e.seq = i;
+    e.delivered_by = static_cast<NodeId>(1 + i % 3);
+    marking::VerifiedMark up, down;
+    up.node = static_cast<NodeId>(1 + i % 5);
+    up.mark_index = 0;
+    down.node = static_cast<NodeId>(1 + (i + 1) % 5);
+    down.mark_index = 1;
+    e.verdict.chain = {up, down};
+    e.verdict.total_marks = 2;
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(i));
+    w.u16(up.node);
+    w.u16(down.node);
+    e.fingerprint = std::move(w).take();
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+TEST(TracebackMerger, RandomizedCompletionOrderIsDigestStable) {
+  constexpr std::size_t kEntries = 500;
+  net::Topology topo = net::Topology::chain(6);
+  crypto::KeyStore keys(Bytes{0x01}, topo.node_count());
+  auto scheme = marking::make_scheme(marking::SchemeKind::kPnm, {});
+
+  // Reference: sequential submission, one entry at a time.
+  sink::TracebackEngine ref_engine(*scheme, keys, topo);
+  ingest::TracebackMerger ref(&ref_engine);
+  for (auto& e : synthetic_entries(kEntries)) {
+    std::vector<ingest::FoldEntry> one;
+    one.push_back(std::move(e));
+    ref.submit(std::move(one));
+  }
+  std::string ref_digest = ref.digest_hex();
+  ASSERT_EQ(ref.folded(), kEntries);
+
+  // Adversarial schedules: shard the entries by flow-ish stripes, chop each
+  // shard's run into batches, and submit the batches in a different random
+  // global completion order each round. The digest and the engine state must
+  // never move.
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 10; ++round) {
+    std::size_t shards = 1 + static_cast<std::size_t>(rng() % 8);
+    std::vector<std::vector<ingest::FoldEntry>> batches;
+    {
+      std::vector<std::vector<ingest::FoldEntry>> per_shard(shards);
+      for (auto& e : synthetic_entries(kEntries))
+        per_shard[e.seq % shards].push_back(std::move(e));
+      for (auto& lane : per_shard) {
+        for (std::size_t start = 0; start < lane.size();) {
+          std::size_t n = std::min<std::size_t>(1 + rng() % 37, lane.size() - start);
+          batches.emplace_back(
+              std::make_move_iterator(lane.begin() + static_cast<long>(start)),
+              std::make_move_iterator(lane.begin() + static_cast<long>(start + n)));
+          start += n;
+        }
+      }
+    }
+    std::shuffle(batches.begin(), batches.end(), rng);
+
+    sink::TracebackEngine engine(*scheme, keys, topo);
+    ingest::TracebackMerger merger(&engine);
+    for (auto& b : batches) merger.submit(std::move(b));
+
+    EXPECT_EQ(merger.folded(), kEntries) << "round " << round;
+    EXPECT_EQ(merger.pending(), 0u) << "round " << round;
+    EXPECT_EQ(merger.digest_hex(), ref_digest) << "round " << round;
+    EXPECT_EQ(engine.packets_ingested(), ref_engine.packets_ingested());
+    EXPECT_EQ(engine.marks_verified(), ref_engine.marks_verified());
+    EXPECT_EQ(engine.markers_seen(), ref_engine.markers_seen());
+    EXPECT_EQ(engine.analysis().identified, ref_engine.analysis().identified);
+    EXPECT_EQ(engine.analysis().stop_node, ref_engine.analysis().stop_node);
+    EXPECT_EQ(engine.analysis().suspects, ref_engine.analysis().suspects);
+  }
+}
+
+TEST(TracebackMerger, DroppedSequenceNumbersDoNotStallTheFrontier) {
+  ingest::TracebackMerger merger(nullptr);
+  auto entries = synthetic_entries(10);
+  // Tombstone seq 0 and 5; the rest arrive out of order behind them.
+  std::vector<ingest::FoldEntry> batch;
+  for (std::size_t i : {9, 8, 7, 6, 4, 3, 2, 1})
+    batch.push_back(std::move(entries[i]));
+  ingest::FoldEntry t0, t5;
+  t0.seq = 0;
+  t0.dropped = true;
+  t5.seq = 5;
+  t5.dropped = true;
+  batch.push_back(std::move(t5));
+  merger.submit(std::move(batch));
+  EXPECT_EQ(merger.folded(), 0u);  // still gated on seq 0
+  std::vector<ingest::FoldEntry> last;
+  last.push_back(std::move(t0));
+  merger.submit(std::move(last));
+  EXPECT_EQ(merger.folded(), 8u);  // all 10 seqs consumed, 2 dropped
+  EXPECT_EQ(merger.pending(), 0u);
+}
+
+TEST(OrderGraph, PerShardPartialGraphsMergeToTheSerialRelation) {
+  // The mergeable-state property (cf. algebraic traceback): shard the
+  // evidence stream, accumulate per-shard order matrices, merge — the
+  // relation must equal the one graph that saw everything, in any merge
+  // order.
+  auto entries = synthetic_entries(200);
+  sink::OrderGraph serial;
+  std::vector<sink::OrderGraph> shard_graph(4);
+  for (const auto& e : entries) {
+    sink::OrderGraph& g = shard_graph[e.seq % 4];
+    for (std::size_t i = 0; i < e.verdict.chain.size(); ++i) {
+      serial.observe(e.verdict.chain[i].node);
+      g.observe(e.verdict.chain[i].node);
+      if (i > 0) {
+        serial.add_order(e.verdict.chain[i - 1].node, e.verdict.chain[i].node);
+        g.add_order(e.verdict.chain[i - 1].node, e.verdict.chain[i].node);
+      }
+    }
+  }
+  for (auto order : {std::vector<int>{0, 1, 2, 3}, std::vector<int>{3, 1, 0, 2}}) {
+    sink::OrderGraph merged;
+    for (int s : order) merged.merge(shard_graph[static_cast<std::size_t>(s)]);
+    EXPECT_EQ(merged.observed_count(), serial.observed_count());
+    EXPECT_EQ(merged.order_count(), serial.order_count());
+    EXPECT_EQ(merged.has_loop(), serial.has_loop());
+    for (NodeId a : serial.observed_nodes())
+      for (NodeId b : serial.observed_nodes())
+        EXPECT_EQ(merged.reaches(a, b), serial.reaches(a, b))
+            << static_cast<int>(a) << "->" << static_cast<int>(b);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -150,6 +353,49 @@ TEST(ReplayEquivalence, SerialAndParallelReplaysAreByteIdentical) {
     EXPECT_EQ(a.analysis.suspects, b.analysis.suspects);
     EXPECT_EQ(a.marks_verified, b.marks_verified);
   }
+}
+
+TEST(ReplayEquivalence, ShardedReplaysAreByteIdenticalToSerial) {
+  // The tentpole invariant: the sharded pipeline (flow-affine routing,
+  // per-shard verify lanes, seq-ordered merge) must produce the exact
+  // verdict digest of the single-lane pipeline for every shard count,
+  // including shard counts that collide all flows into few lanes.
+  const auto& rc = recorded_campaign();
+  ingest::ReplayOptions serial;
+  serial.shards = 1;
+  ingest::ReplayResult a = ingest::replay_file(rc.path, serial);
+  ASSERT_TRUE(a.ok) << a.error;
+
+  for (std::size_t shards : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    ingest::ReplayOptions sharded;
+    sharded.shards = shards;
+    sharded.batch_size = 16;  // different batching must not matter either
+    ingest::ReplayResult b = ingest::replay_file(rc.path, sharded);
+    ASSERT_TRUE(b.ok) << b.error;
+    EXPECT_EQ(a.verdict_digest, b.verdict_digest) << "shards=" << shards;
+    EXPECT_EQ(a.analysis.stop_node, b.analysis.stop_node);
+    EXPECT_EQ(a.analysis.suspects, b.analysis.suspects);
+    EXPECT_EQ(a.marks_verified, b.marks_verified);
+    EXPECT_EQ(b.stats.shards, shards);
+    EXPECT_EQ(b.stats.records, a.stats.records);
+    // Every record is accounted to exactly one shard lane.
+    std::size_t sum = 0;
+    for (std::size_t n : b.stats.shard_records) sum += n;
+    EXPECT_EQ(sum, b.stats.records);
+  }
+}
+
+TEST(ReplayEquivalence, ShardsComposeWithVerifierThreads) {
+  const auto& rc = recorded_campaign();
+  ingest::ReplayResult a = ingest::replay_file(rc.path);
+  ASSERT_TRUE(a.ok) << a.error;
+  ingest::ReplayOptions opts;
+  opts.shards = 2;
+  opts.threads = 2;  // 2 lanes × 2 verifier threads each
+  ingest::ReplayResult b = ingest::replay_file(rc.path, opts);
+  ASSERT_TRUE(b.ok) << b.error;
+  EXPECT_EQ(a.verdict_digest, b.verdict_digest);
+  EXPECT_EQ(a.analysis.suspects, b.analysis.suspects);
 }
 
 TEST(ReplayEquivalence, ScopedStrategyLandsOnSameAccusations) {

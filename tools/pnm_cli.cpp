@@ -25,10 +25,14 @@
 //       Run a chain experiment and record every delivered packet (wire
 //       bytes + delivery time + previous hop) into a replayable trace.
 //
-//   pnm replay    --in FILE.pnmtrace [--threads T] [--batch B] [--scoped 1]
+//   pnm replay    --in FILE.pnmtrace [--shards N] [--threads T] [--batch B]
+//                 [--scoped 1]
 //       Rebuild the sink from the trace header and stream the records
 //       through the ingest pipeline; prints the accusation set, the verdict
 //       digest (the determinism fingerprint) and the ingest counters JSON.
+//       --shards N fans ingest across N flow-affine lanes with a
+//       deterministic traceback merge — the digest and accusations are
+//       shard-count invariant; --threads is verifier workers per lane.
 //
 //   pnm trace-stat --in FILE.pnmtrace
 //       Header metadata plus a record/error census of the file.
@@ -380,6 +384,7 @@ int cmd_replay(const Args& args) {
   }
   pnm::ingest::ReplayOptions opts;
   opts.threads = args.num("threads", 1);
+  opts.shards = args.num("shards", 1);
   opts.scoped = args.num("scoped", 0) != 0;
   opts.batch_size = args.num("batch", 256);
   opts.counters = &pnm::util::Counters::global();
@@ -402,6 +407,14 @@ int cmd_replay(const Args& args) {
   t.add_row({"marks verified", Table::num(r.marks_verified)});
   t.add_row({"records/s", Table::num(r.stats.records_per_s, 0)});
   t.add_row({"queue high water", Table::num(r.stats.queue_high_water)});
+  if (r.stats.shards > 1) {
+    t.add_row({"shards", Table::num(r.stats.shards)});
+    std::string per_shard;
+    for (std::size_t n : r.stats.shard_records)
+      per_shard += (per_shard.empty() ? "" : " ") + Table::num(n);
+    t.add_row({"records per shard", per_shard});
+    t.add_row({"merge buffer high water", Table::num(r.stats.merge_max_pending)});
+  }
   t.add_row({"identified", r.analysis.identified ? "yes" : "no"});
   if (r.analysis.identified) {
     t.add_row({"stop node", Table::num(static_cast<std::size_t>(r.analysis.stop_node))});

@@ -73,9 +73,11 @@ def main():
     gates = args.gate if args.gate else DEFAULT_GATES
 
     with open(args.old) as f:
-        old = flatten(json.load(f))
+        old_record = json.load(f)
     with open(args.new) as f:
-        new = flatten(json.load(f))
+        new_record = json.load(f)
+    old = flatten(old_record)
+    new = flatten(new_record)
 
     rows = []
     for key in sorted(set(old) | set(new)):
@@ -126,12 +128,27 @@ def main():
     print(f"\n* = gated prefix ({', '.join(gates)}), tolerance +{args.tolerance:.0%}")
 
     regressed = [r for r in rows if r["status"] == "REGRESSED"]
-    verdict = "fail" if regressed else "pass"
+
+    # Serve-plane gate: a record carrying a "serve" section (BENCH_7+) must
+    # show loadgen throughput at or above its recorded target fraction of the
+    # in-process replay pipeline — the socket hop staying a thin shell is part
+    # of the trajectory contract, not an optional extra.
+    serve_vs = new_record.get("serve", {}).get("vs_replay_pipeline")
+    serve_failed = bool(serve_vs) and not serve_vs.get("meets_target", False)
+    if serve_vs:
+        print(
+            f"serve loadgen: {serve_vs['ratio']:.3f}x of "
+            f"{serve_vs['benchmark']} (target {serve_vs['target']}x) -> "
+            f"{'FAIL' if serve_failed else 'ok'}"
+        )
+
+    verdict = "fail" if (regressed or serve_failed) else "pass"
     if args.out:
         with open(args.out, "w") as f:
             json.dump(
                 {"old": args.old, "new": args.new, "tolerance": args.tolerance,
-                 "gates": gates, "verdict": verdict, "rows": rows},
+                 "gates": gates, "serve": serve_vs, "verdict": verdict,
+                 "rows": rows},
                 f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"wrote {args.out}")
@@ -149,6 +166,13 @@ def main():
                 f"({r['ratio']:.3f}x)",
                 file=sys.stderr,
             )
+        raise SystemExit(1)
+    if serve_failed:
+        print(
+            f"\nFAIL: serve loadgen at {serve_vs['ratio']:.3f}x of "
+            f"{serve_vs['benchmark']} (target {serve_vs['target']}x)",
+            file=sys.stderr,
+        )
         raise SystemExit(1)
     print(f"OK: no gated regression (compared {len(rows)} rows)")
 

@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Plot the committed BENCH_<n>.json trajectory as an SVG artifact.
+
+Where scripts/bench_compare.py diffs two adjacent records and gates CI, this
+renders the whole history: every BENCH_<n>.json in the repository becomes one
+x-axis step, and each gated benchmark (default: the same BM_ReplayPipeline /
+BM_BatchVerify prefixes bench_compare gates on) gets a panel charting its
+real_time trajectory across revisions, with the scalar and auto backend
+series as separate lines. Records that predate a benchmark simply have no
+point at that step — the suite legitimately grows over time.
+
+If a record carries a "serve" section (BENCH_7+), a final panel charts the
+loadgen-vs-BM_ReplayPipeline throughput ratio against its recorded target
+line.
+
+The output is deliberately dependency-free, hand-assembled SVG: CI uploads
+it as an artifact next to the compare report, and it renders in any browser
+or GitHub preview without a plotting stack in the image.
+
+Usage:
+  scripts/bench_plot.py [--dir .] [--out bench_trajectory.svg]
+      [--gate BM_ReplayPipeline --gate BM_BatchVerify] [--series auto scalar]
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+DEFAULT_GATES = ["BM_ReplayPipeline", "BM_BatchVerify"]
+
+# One color per series; panels reuse them.
+SERIES_COLORS = {"auto": "#1f77b4", "scalar": "#d62728", "serve": "#2ca02c"}
+
+PANEL_W = 720
+PANEL_H = 150
+MARGIN_L = 70
+MARGIN_R = 16
+MARGIN_TOP = 34
+MARGIN_BOT = 26
+PANEL_GAP = 18
+
+
+def load_records(bench_dir):
+    """[(n, parsed json)] for every BENCH_<n>.json, ordered by n."""
+    records = []
+    for path in glob.glob(os.path.join(bench_dir, "BENCH_*.json")):
+        m = re.fullmatch(r"BENCH_(\d+)\.json", os.path.basename(path))
+        if not m:
+            continue
+        with open(path) as f:
+            records.append((int(m.group(1)), json.load(f)))
+    records.sort()
+    return records
+
+
+def gated_names(records, gates, series_list):
+    """Every exact benchmark name matching a gate prefix in any record."""
+    names = set()
+    for _, record in records:
+        for payload in record.get("suites", {}).values():
+            for series in series_list:
+                for name in payload.get(series, {}):
+                    if any(name.startswith(g) for g in gates):
+                        names.add(name)
+    return sorted(names)
+
+
+def series_points(records, name, series):
+    """[(record index, real_time_ns)] for one benchmark/series trajectory."""
+    points = []
+    for i, (_, record) in enumerate(records):
+        for payload in record.get("suites", {}).values():
+            row = payload.get(series, {}).get(name)
+            if row and row.get("real_time_ns") is not None:
+                points.append((i, float(row["real_time_ns"])))
+                break
+    return points
+
+
+def serve_points(records):
+    points = []
+    for i, (_, record) in enumerate(records):
+        vs = record.get("serve", {}).get("vs_replay_pipeline")
+        if vs and vs.get("ratio") is not None:
+            points.append((i, float(vs["ratio"])))
+    return points
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def esc(text):
+    return (
+        str(text).replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+class Panel:
+    """One chart: versions on x, a value trajectory per series on y."""
+
+    def __init__(self, title, y_formatter, versions, y_floor=None):
+        self.title = title
+        self.fmt = y_formatter
+        self.versions = versions
+        self.series = []  # (label, color, [(version-index, value)])
+        self.hlines = []  # (value, label, color)
+        self.y_floor = y_floor
+
+    def add_series(self, label, color, points):
+        if points:
+            self.series.append((label, color, points))
+
+    def add_hline(self, value, label, color):
+        self.hlines.append((value, label, color))
+
+    def _scale(self):
+        values = [v for _, _, pts in self.series for _, v in pts]
+        values += [v for v, _, _ in self.hlines]
+        lo, hi = min(values), max(values)
+        if self.y_floor is not None:
+            lo = min(lo, self.y_floor)
+        if hi == lo:
+            hi = lo * 1.1 if lo else 1.0
+        pad = (hi - lo) * 0.12
+        return lo - pad, hi + pad
+
+    def render(self, y_off):
+        if not self.series:
+            return []
+        lo, hi = self._scale()
+        plot_w = PANEL_W - MARGIN_L - MARGIN_R
+        plot_h = PANEL_H - MARGIN_TOP - MARGIN_BOT
+        steps = max(len(self.versions) - 1, 1)
+
+        def x_at(i):
+            return MARGIN_L + plot_w * i / steps
+
+        def y_at(v):
+            return y_off + MARGIN_TOP + plot_h * (1.0 - (v - lo) / (hi - lo))
+
+        out = [
+            f'<rect x="{MARGIN_L}" y="{y_off + MARGIN_TOP}" width="{plot_w}" '
+            f'height="{plot_h}" fill="#fafafa" stroke="#cccccc"/>',
+            f'<text x="{MARGIN_L}" y="{y_off + 20}" font-size="13" '
+            f'font-weight="bold">{esc(self.title)}</text>',
+        ]
+        # y-axis: min/max labels only — the shape is the payload here.
+        for v in (lo, hi):
+            y = y_at(v)
+            out.append(
+                f'<text x="{MARGIN_L - 6}" y="{y + 4}" font-size="10" '
+                f'text-anchor="end" fill="#555555">{esc(self.fmt(v))}</text>'
+            )
+        for i, version in enumerate(self.versions):
+            x = x_at(i)
+            out.append(
+                f'<text x="{x}" y="{y_off + PANEL_H - 8}" font-size="10" '
+                f'text-anchor="middle" fill="#555555">v{version}</text>'
+            )
+        for value, label, color in self.hlines:
+            y = y_at(value)
+            out.append(
+                f'<line x1="{MARGIN_L}" y1="{y}" x2="{MARGIN_L + plot_w}" '
+                f'y2="{y}" stroke="{color}" stroke-dasharray="5,4"/>'
+            )
+            out.append(
+                f'<text x="{MARGIN_L + plot_w - 4}" y="{y - 4}" font-size="10" '
+                f'text-anchor="end" fill="{color}">{esc(label)}</text>'
+            )
+        legend_x = MARGIN_L + 8
+        for label, color, points in self.series:
+            coords = " ".join(f"{x_at(i):.1f},{y_at(v):.1f}" for i, v in points)
+            if len(points) > 1:
+                out.append(
+                    f'<polyline points="{coords}" fill="none" stroke="{color}" '
+                    f'stroke-width="1.8"/>'
+                )
+            for i, v in points:
+                out.append(
+                    f'<circle cx="{x_at(i):.1f}" cy="{y_at(v):.1f}" r="2.6" '
+                    f'fill="{color}"><title>{esc(self.title)} [{esc(label)}] '
+                    f'v{self.versions[i]}: {esc(self.fmt(v))}</title></circle>'
+                )
+            out.append(
+                f'<text x="{legend_x}" y="{y_off + MARGIN_TOP + 12}" '
+                f'font-size="10" fill="{color}">{esc(label)}</text>'
+            )
+            legend_x += 7 * len(label) + 18
+        return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--dir", default=".", help="directory holding BENCH_<n>.json")
+    ap.add_argument("--out", default="bench_trajectory.svg")
+    ap.add_argument(
+        "--gate",
+        action="append",
+        default=None,
+        metavar="PREFIX",
+        help="benchmark-name prefix to plot (repeatable; default: %s)"
+        % ", ".join(DEFAULT_GATES),
+    )
+    ap.add_argument(
+        "--series",
+        nargs="+",
+        default=["auto", "scalar"],
+        help="backend series to chart per benchmark",
+    )
+    args = ap.parse_args()
+    gates = args.gate if args.gate else DEFAULT_GATES
+
+    records = load_records(args.dir)
+    if len(records) < 1:
+        raise SystemExit(f"no BENCH_<n>.json records found under {args.dir}")
+    versions = [n for n, _ in records]
+
+    panels = []
+    for name in gated_names(records, gates, args.series):
+        panel = Panel(name, fmt_ns, versions)
+        for series in args.series:
+            panel.add_series(
+                series,
+                SERIES_COLORS.get(series, "#777777"),
+                series_points(records, name, series),
+            )
+        if panel.series:
+            panels.append(panel)
+
+    serve = serve_points(records)
+    if serve:
+        latest_target = None
+        for _, record in records:
+            vs = record.get("serve", {}).get("vs_replay_pipeline")
+            if vs and vs.get("target") is not None:
+                latest_target = float(vs["target"])
+        panel = Panel(
+            "serve loadgen / BM_ReplayPipeline throughput ratio",
+            lambda v: f"{v:.2f}x",
+            versions,
+            y_floor=0.0,
+        )
+        panel.add_series("serve", SERIES_COLORS["serve"], serve)
+        if latest_target is not None:
+            panel.add_hline(latest_target, f"target {latest_target}x", "#999999")
+        panels.append(panel)
+
+    if not panels:
+        raise SystemExit("no gated benchmarks found in any record")
+
+    total_h = len(panels) * (PANEL_H + PANEL_GAP) + 8
+    body = []
+    y = 0
+    for panel in panels:
+        body.extend(panel.render(y))
+        y += PANEL_H + PANEL_GAP
+
+    svg = "\n".join(
+        [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{PANEL_W}" '
+            f'height="{total_h}" font-family="monospace">',
+            f'<rect width="{PANEL_W}" height="{total_h}" fill="#ffffff"/>',
+        ]
+        + body
+        + ["</svg>", ""]
+    )
+    with open(args.out, "w") as f:
+        f.write(svg)
+    print(
+        f"wrote {args.out}: {len(panels)} panel(s) over versions "
+        f"{', '.join('v%d' % v for v in versions)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -64,6 +64,11 @@ std::size_t TracebackMerger::folded() const {
   return folded_;
 }
 
+std::uint64_t TracebackMerger::frontier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
 std::size_t TracebackMerger::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return buffer_.size();

@@ -62,6 +62,10 @@ class TracebackMerger {
 
   /// Entries applied to the digest/engine so far.
   std::size_t folded() const;
+  /// Next sequence number the merge is waiting for. Equal to the producer's
+  /// issued-seq count exactly when every in-flight record has been verified
+  /// and applied — the pipeline's quiescence test (live re-keying barrier).
+  std::uint64_t frontier() const;
   /// Entries currently buffered ahead of the merge frontier.
   std::size_t pending() const;
   /// Deepest the reorder buffer ever got (the lane-skew telemetry).

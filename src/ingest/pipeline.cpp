@@ -26,6 +26,7 @@ Pipeline::Pipeline(sink::BatchVerifier& verifier, sink::TracebackEngine* traceba
       counters_(counters ? counters : &verifier.counters()),
       router_(1),
       queue_depth_(&counters_->registry().gauge("ingest_queue_depth")),
+      producers_gauge_(&counters_->registry().gauge("ingest_active_producers")),
       batch_fold_us_(&counters_->registry().histogram("ingest_batch_fold_us")),
       shard_imbalance_ppm_(
           &counters_->registry().histogram("ingest_shard_imbalance_ppm")),
@@ -41,6 +42,7 @@ Pipeline::Pipeline(sink::VerifierBank& bank, sink::TracebackEngine* traceback,
       counters_(counters ? counters : &bank.counters()),
       router_(clamp_shards(cfg.shards, bank.lanes())),
       queue_depth_(&counters_->registry().gauge("ingest_queue_depth")),
+      producers_gauge_(&counters_->registry().gauge("ingest_active_producers")),
       batch_fold_us_(&counters_->registry().histogram("ingest_batch_fold_us")),
       shard_imbalance_ppm_(
           &counters_->registry().histogram("ingest_shard_imbalance_ppm")),
@@ -66,9 +68,15 @@ void Pipeline::init_lanes() {
 }
 
 bool Pipeline::push(net::Packet&& p, double time_s) {
+  return push(std::move(p), time_s, nullptr, 0);
+}
+
+bool Pipeline::push(net::Packet&& p, double time_s, StreamSink* sink,
+                    std::uint64_t stream_seq) {
   std::size_t lane = router_.shard_of(p);
-  std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-  if (queues_[lane]->push(Item{seq, std::move(p), time_s})) return true;
+  std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+  if (queues_[lane]->push(Item{seq, std::move(p), time_s, sink, stream_seq}))
+    return true;
   // The queue was closed after the sequence number was taken: tombstone it
   // so the merge frontier can advance past the gap.
   std::vector<FoldEntry> tomb(1);
@@ -80,6 +88,34 @@ bool Pipeline::push(net::Packet&& p, double time_s) {
 
 void Pipeline::close() {
   for (auto& q : queues_) q->close();
+}
+
+void Pipeline::attach_producer() {
+  std::size_t n = producers_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  producers_gauge_->set(static_cast<std::int64_t>(n));
+}
+
+void Pipeline::detach_producer() {
+  std::size_t n = producers_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  producers_gauge_->set(static_cast<std::int64_t>(n));
+}
+
+std::size_t Pipeline::active_producers() const {
+  return producers_.load(std::memory_order_acquire);
+}
+
+bool Pipeline::wait_quiescent(std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (!quiescent()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
+void Pipeline::retire_shard_gauges() {
+  for (std::size_t i = 0; i < lane_depth_.size(); ++i)
+    counters_->registry().retire("ingest_queue_depth_shard" + std::to_string(i));
 }
 
 void Pipeline::sample_queue_depths(std::size_t lane) {
@@ -120,6 +156,10 @@ void Pipeline::run_lane(std::size_t lane) {
         e.delivered_by = packets[i].delivered_by;
         e.fingerprint = fold_fingerprint(packets[i], verdicts[i]);
         e.verdict = std::move(verdicts[i]);
+        if (batch[i].sink)
+          batch[i].sink->on_entry(batch[i].stream_seq,
+                                  ByteView(e.fingerprint.data(), e.fingerprint.size()),
+                                  e.verdict);
         entries.push_back(std::move(e));
       }
       lane_records_[lane] += batch.size();

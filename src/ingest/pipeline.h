@@ -31,6 +31,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -38,6 +39,7 @@
 #include "ingest/bounded_queue.h"
 #include "ingest/merger.h"
 #include "ingest/shard_router.h"
+#include "ingest/stream_digest.h"
 #include "sink/batch_verifier.h"
 #include "sink/traceback.h"
 #include "trace/reader.h"
@@ -97,8 +99,44 @@ class Pipeline {
   /// target lane's queue with backpressure; false if the pipeline was
   /// closed (the sequence number is tombstoned so the merge cannot stall).
   bool push(net::Packet&& p, double time_s);
+  /// Stream-tagged push for multi-client ingest: after the record is
+  /// verified, its lane additionally invokes `sink->on_entry(stream_seq,
+  /// fingerprint, verdict)` — from the lane thread, concurrently with other
+  /// lanes — so a session can fold its own per-stream digest while the
+  /// global merge proceeds in arrival order. `sink` must outlive the run.
+  bool push(net::Packet&& p, double time_s, StreamSink* sink,
+            std::uint64_t stream_seq);
   /// Signal end of input; run() returns once every lane drains.
   void close();
+
+  // ---- session bookkeeping (the serve daemon's multi-producer seam) ----
+
+  /// Register/unregister a producer session. Purely advisory bookkeeping —
+  /// push() is already multi-producer safe — but the daemon's drain logic
+  /// and the `ingest_active_producers` gauge key off it.
+  void attach_producer();
+  void detach_producer();
+  std::size_t active_producers() const;
+
+  /// Arrival sequence numbers handed out so far.
+  std::uint64_t seqs_issued() const {
+    return next_seq_.load(std::memory_order_acquire);
+  }
+  /// True when every issued sequence number has been verified and applied by
+  /// the merge — no record is in a queue, a lane batch, or the reorder
+  /// buffer. Producers must be paused (or gated) for the answer to stay
+  /// true; this is the live-rekey barrier.
+  bool quiescent() const { return merger_.frontier() == seqs_issued(); }
+  /// Block (polling) until quiescent(). Returns false on timeout.
+  bool wait_quiescent(std::chrono::milliseconds timeout);
+
+  /// Retire this pipeline's per-shard queue-depth gauges from the metrics
+  /// registry (obs::MetricsRegistry::retire): a long-lived daemon that
+  /// restarts its pipeline with a different shard count would otherwise
+  /// export stale `ingest_queue_depth_shard<i>` series forever. The next
+  /// pipeline construction over the same registry revives the series it
+  /// actually uses. Call after run() has returned.
+  void retire_shard_gauges();
 
   // ---- consumer side (call run() from exactly one thread) ----
 
@@ -123,6 +161,8 @@ class Pipeline {
     std::uint64_t seq = 0;
     net::Packet packet;
     double time_s = 0.0;
+    StreamSink* sink = nullptr;     ///< per-stream tap (serve sessions)
+    std::uint64_t stream_seq = 0;   ///< seq within the producing stream
   };
 
   void init_lanes();
@@ -135,6 +175,7 @@ class Pipeline {
   util::Counters* counters_;
   ShardRouter router_;
   obs::Gauge* queue_depth_;  ///< ingest_queue_depth (aggregate), per drain
+  obs::Gauge* producers_gauge_;           ///< ingest_active_producers
   std::vector<obs::Gauge*> lane_depth_;   ///< ingest_queue_depth_shard<i>
   obs::Histogram* batch_fold_us_;         ///< ingest_batch_fold_us
   obs::Histogram* shard_imbalance_ppm_;   ///< ingest_shard_imbalance_ppm
@@ -142,6 +183,7 @@ class Pipeline {
   std::vector<std::unique_ptr<BoundedQueue<Item>>> queues_;
   std::vector<std::size_t> lane_records_;  ///< written only by the owning lane
   std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::size_t> producers_{0};
   PipelineStats stats_;
 };
 

@@ -67,6 +67,16 @@ MetricsRegistry::Entry& MetricsRegistry::intern(std::string_view name,
     Entry& e = entries_[it->second];
     if (e.type != type)
       throw std::logic_error("metric '" + e.name + "' re-registered as a different type");
+    if (e.retired) {
+      // Revival: the instrument pointer is unchanged (old references stay
+      // valid) but any values recorded while retired are discarded.
+      e.retired = false;
+      switch (e.type) {
+        case MetricType::kCounter: e.c->reset(); break;
+        case MetricType::kGauge: e.g->reset(); break;
+        case MetricType::kHistogram: e.h->reset(); break;
+      }
+    }
     return e;
   }
   Entry e;
@@ -94,11 +104,24 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return *intern(name, MetricType::kHistogram).h;
 }
 
+void MetricsRegistry::retire(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) entries_[it->second].retired = true;
+}
+
+bool MetricsRegistry::exported(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(name));
+  return it != index_.end() && !entries_[it->second].retired;
+}
+
 MetricsSnapshot MetricsRegistry::scrape() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   snap.samples.reserve(entries_.size());
   for (const Entry& e : entries_) {
+    if (e.retired) continue;
     MetricSample s;
     s.name = e.name;
     s.type = e.type;
@@ -125,7 +148,10 @@ void MetricsRegistry::reset() {
 
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return entries_.size();
+  std::size_t n = 0;
+  for (const Entry& e : entries_)
+    if (!e.retired) ++n;
+  return n;
 }
 
 MetricsRegistry& MetricsRegistry::global() {

@@ -194,10 +194,23 @@ class MetricsRegistry {
 
   /// Intern `name` as the given instrument type. Re-registering an existing
   /// name returns the same instrument; a type conflict throws
-  /// std::logic_error.
+  /// std::logic_error. Re-registering a retired name revives it: the same
+  /// instrument is returned, zeroed.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
+
+  /// Hide `name` from scrape() until it is re-registered. The instrument
+  /// itself stays alive and zeroed, so references handed out earlier remain
+  /// valid (recording into a retired instrument is harmless — the values are
+  /// discarded on revival). This is the lifecycle seam for per-shard series
+  /// like `ingest_queue_depth_shard<i>`: a long-lived daemon that restarts
+  /// its pipeline with a different shard count retires the old lanes' gauges
+  /// instead of exporting stale series forever. Unknown names are ignored.
+  void retire(std::string_view name);
+
+  /// True when `name` is registered and not retired (test/introspection aid).
+  bool exported(std::string_view name) const;
 
   /// Fold every instrument into a consistent-enough snapshot (relaxed reads;
   /// exact once writers are quiescent), in registration order.
@@ -206,6 +219,7 @@ class MetricsRegistry {
   /// Zero every instrument (tests and between-run isolation).
   void reset();
 
+  /// Registered, non-retired instruments.
   std::size_t size() const;
 
   /// Process-wide registry: what util::Counters::global() and the CLI's
@@ -216,6 +230,7 @@ class MetricsRegistry {
   struct Entry {
     std::string name;
     MetricType type;
+    bool retired = false;
     std::unique_ptr<Counter> c;
     std::unique_ptr<Gauge> g;
     std::unique_ptr<Histogram> h;

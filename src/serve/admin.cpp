@@ -1,0 +1,113 @@
+#include "serve/admin.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "serve/server.h"
+
+namespace pnm::serve {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+
+std::string http_response(int code, const char* status, const std::string& body,
+                          const char* content_type = "text/plain; charset=utf-8") {
+  std::string head = "HTTP/1.0 " + std::to_string(code) + " " + status +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  return head + body;
+}
+
+/// "GET /drain?x=1 HTTP/1.1" → "/drain". Empty on a garbled request line.
+std::string request_path(const std::string& request) {
+  std::size_t sp1 = request.find(' ');
+  if (sp1 == std::string::npos) return "";
+  std::size_t sp2 = request.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return "";
+  std::string path = request.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::size_t q = path.find('?');
+  if (q != std::string::npos) path.resize(q);
+  return path;
+}
+
+std::string drain_json(const DrainReport& r) {
+  std::string out = "{\"records\":" + std::to_string(r.records) +
+                    ",\"sessions\":" + std::to_string(r.sessions) +
+                    ",\"key_epoch\":" + std::to_string(r.key_epoch) +
+                    ",\"digest\":\"" + r.verdict_digest + "\"";
+  if (!r.error.empty()) out += ",\"error\":\"" + r.error + "\"";
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+bool AdminServer::start(std::uint16_t port, std::string* error) {
+  listener_ = Listener::tcp(port, error);
+  if (!listener_.valid()) return false;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void AdminServer::accept_loop() {
+  while (true) {
+    Socket sock = listener_.accept_conn();
+    if (!sock.valid()) return;
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    if (stopped_) return;
+    handlers_.emplace_back([this](Socket s) { handle(std::move(s)); },
+                           std::move(sock));
+  }
+}
+
+void AdminServer::handle(Socket sock) {
+  std::string request;
+  char buf[2048];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    long n = sock.recv_some(buf, sizeof(buf));
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  std::string path = request_path(request);
+
+  std::string response;
+  if (path == "/healthz") {
+    response = server_.healthy() ? http_response(200, "OK", "ok\n")
+                                 : http_response(503, "Service Unavailable", "drained\n");
+  } else if (path == "/metrics") {
+    response = http_response(200, "OK", server_.metrics_prometheus(),
+                             "text/plain; version=0.0.4; charset=utf-8");
+  } else if (path == "/drain") {
+    response = http_response(200, "OK", drain_json(server_.drain()) + "\n",
+                             "application/json");
+  } else if (path == "/rekey") {
+    response = http_response(
+        200, "OK", "{\"epoch\":" + std::to_string(server_.rekey()) + "}\n",
+        "application/json");
+  } else {
+    response = http_response(404, "Not Found", "unknown endpoint\n");
+  }
+  sock.send_all(ByteView(reinterpret_cast<const std::uint8_t*>(response.data()),
+                         response.size()));
+}
+
+void AdminServer::stop() {
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers.swap(handlers_);
+  }
+  for (auto& t : handlers) t.join();
+}
+
+}  // namespace pnm::serve

@@ -1,0 +1,58 @@
+// Admin plane of the serve daemon: a minimal HTTP/1.0 responder on its own
+// loopback port, kept deliberately separate from the session port so
+// operational probes can never interleave with (or be backpressured by) the
+// ingest byte stream.
+//
+//   GET /healthz   → 200 "ok" while accepting, 503 once drained
+//   GET /metrics   → Prometheus text exposition of the daemon's registry
+//   POST /drain    → stop accepting, flush shards, respond with the final
+//                    record count + global verdict digest (idempotent; also
+//                    unblocks Server::wait())
+//   POST /rekey    → quiesce the pipeline, swap the VerifierBank to the next
+//                    campaign key epoch, respond {"epoch": N}
+//
+// GET is accepted for /drain and /rekey too (curl-friendly in smoke tests).
+// The responder speaks just enough HTTP for curl and the CI scripts: request
+// line + headers in, Content-Length + Connection: close out.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/socket.h"
+
+namespace pnm::serve {
+
+class Server;
+
+class AdminServer {
+ public:
+  explicit AdminServer(Server& server) : server_(server) {}
+  ~AdminServer() { stop(); }
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Bind 127.0.0.1:<port> (0 = ephemeral) and start serving.
+  bool start(std::uint16_t port, std::string* error);
+  std::uint16_t port() const { return listener_.port(); }
+
+  /// Close the listener and join every handler. Idempotent. Must not be
+  /// called from a handler thread (a /drain handler joins elsewhere first).
+  void stop();
+
+ private:
+  void accept_loop();
+  void handle(Socket sock);
+
+  Server& server_;
+  Listener listener_;
+  std::thread accept_thread_;
+  std::mutex handlers_mu_;
+  std::vector<std::thread> handlers_;
+  bool stopped_ = false;
+};
+
+}  // namespace pnm::serve

@@ -1,0 +1,283 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "crypto/sha256.h"
+#include "marking/scheme.h"
+#include "obs/exposition.h"
+#include "serve/admin.h"
+#include "trace/reader.h"
+
+namespace pnm::serve {
+
+namespace {
+
+std::optional<marking::SchemeKind> scheme_kind_by_name(const std::string& name) {
+  for (auto kind : marking::all_scheme_kinds())
+    if (name == marking::scheme_kind_name(kind)) return kind;
+  return std::nullopt;
+}
+
+/// Deterministic per-epoch master secret: epoch 0 is the campaign secret
+/// itself; epoch e re-derives by hashing (secret || e). Both ends of a
+/// future key-rotation protocol can compute the same schedule offline.
+Bytes epoch_master_secret(std::uint64_t seed, std::uint64_t epoch) {
+  Bytes base = core::campaign_master_secret(seed);
+  if (epoch == 0) return base;
+  crypto::Sha256 h;
+  h.update(base);
+  ByteWriter w;
+  w.u64(epoch);
+  h.update(w.bytes());
+  crypto::Sha256Digest d = h.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+}  // namespace
+
+Server::Server(const ServerConfig& cfg)
+    : cfg_(cfg),
+      counters_(cfg.counters ? cfg.counters : &local_counters_),
+      sessions_total_(&counters_->registry().counter("serve_sessions")),
+      sessions_active_(&counters_->registry().gauge("serve_sessions_active")),
+      records_total_(&counters_->registry().counter("serve_records")),
+      bytes_rx_total_(&counters_->registry().counter("serve_bytes_rx")),
+      aborts_total_(&counters_->registry().counter("serve_aborts")),
+      rekeys_total_(&counters_->registry().counter("serve_rekeys")),
+      key_epoch_gauge_(&counters_->registry().gauge("serve_key_epoch")) {}
+
+std::unique_ptr<Server> Server::create(const ServerConfig& cfg, std::string* error) {
+  auto fail = [&](const std::string& why) -> std::unique_ptr<Server> {
+    if (error) *error = why;
+    return nullptr;
+  };
+
+  trace::TraceReader reader(cfg.campaign_trace);
+  if (!reader.valid())
+    return fail("campaign trace: " + reader.header_error());
+  const trace::TraceMeta& meta = reader.meta();
+  auto seed = meta.get_u64(trace::kMetaSeed);
+  auto forwarders = meta.get_u64(trace::kMetaForwarders);
+  auto scheme_name = meta.get(trace::kMetaScheme);
+  if (!seed || !forwarders || !scheme_name)
+    return fail("campaign trace header missing seed/forwarders/scheme");
+  if (*forwarders < 2 || *forwarders > 60000)
+    return fail("implausible forwarder count in campaign trace header");
+  auto kind = scheme_kind_by_name(*scheme_name);
+  if (!kind) return fail("unknown scheme '" + *scheme_name + "' in campaign trace");
+
+  marking::SchemeConfig scfg;
+  if (auto prob = meta.get(trace::kMetaMarkProbability))
+    scfg.mark_probability = std::strtod(prob->c_str(), nullptr);
+  if (auto mac = meta.get_u64(trace::kMetaMacLen)) scfg.mac_len = *mac;
+  if (auto anon = meta.get_u64(trace::kMetaAnonLen)) scfg.anon_len = *anon;
+
+  std::unique_ptr<Server> server(new Server(cfg));
+  server->meta_ = meta;
+  server->campaign_id_ = campaign_id_from_meta(meta);
+  server->seed_ = *seed;
+  server->topo_ = std::make_unique<net::Topology>(
+      net::Topology::chain(static_cast<std::size_t>(*forwarders)));
+  server->keys_ = std::make_shared<const crypto::KeyStore>(
+      epoch_master_secret(*seed, 0), server->topo_->node_count());
+  server->scheme_ = marking::make_scheme(*kind, scfg);
+
+  sink::BatchVerifierConfig bcfg;
+  bcfg.threads = cfg.threads;
+  if (cfg.scoped && *kind == marking::SchemeKind::kPnm)
+    bcfg.strategy = sink::BatchStrategy::kScoped;
+  std::size_t shards = cfg.shards ? cfg.shards : 1;
+  server->bank_ = std::make_unique<sink::VerifierBank>(
+      *server->scheme_, *server->keys_, shards, bcfg, server->topo_.get(),
+      server->counters_);
+  server->engine_ = std::make_unique<sink::TracebackEngine>(
+      *server->scheme_, *server->keys_, *server->topo_);
+  server->engine_->bind_metrics(server->counters_->registry());
+
+  ingest::PipelineConfig pcfg;
+  pcfg.batch_size = cfg.batch_size;
+  pcfg.queue_capacity = cfg.queue_capacity;
+  pcfg.shards = shards;
+  server->pipeline_ = std::make_unique<ingest::Pipeline>(
+      *server->bank_, server->engine_.get(), pcfg, server->counters_);
+
+  std::string sock_err;
+  server->tcp_listener_ = Listener::tcp(cfg.tcp_port, &sock_err);
+  if (!server->tcp_listener_.valid())
+    return fail("tcp listener: " + sock_err);
+  if (!cfg.unix_socket_path.empty()) {
+    server->unix_listener_ = Listener::unix_path(cfg.unix_socket_path, &sock_err);
+    if (!server->unix_listener_.valid())
+      return fail("unix listener: " + sock_err);
+  }
+  server->admin_ = std::make_unique<AdminServer>(*server);
+  if (!server->admin_->start(cfg.admin_port, &sock_err))
+    return fail("admin listener: " + sock_err);
+
+  server->key_epoch_gauge_->set(0);
+  return server;
+}
+
+Server::~Server() {
+  drain();  // idempotent; a clean exit already drained
+  if (admin_) admin_->stop();
+}
+
+std::uint16_t Server::admin_port() const { return admin_ ? admin_->port() : 0; }
+
+void Server::start() {
+  if (started_.exchange(true)) return;
+  consumer_ = std::thread([this] {
+    try {
+      pipeline_->run();
+    } catch (const std::exception& e) {
+      consumer_error_ = e.what();
+    } catch (...) {
+      consumer_error_ = "unknown pipeline failure";
+    }
+  });
+  accept_threads_.emplace_back([this] { accept_loop(&tcp_listener_); });
+  if (unix_listener_.valid())
+    accept_threads_.emplace_back([this] { accept_loop(&unix_listener_); });
+}
+
+void Server::accept_loop(Listener* listener) {
+  while (true) {
+    Socket sock = listener->accept_conn();
+    if (!sock.valid()) return;  // listener closed (drain) or fatal
+    if (draining()) continue;   // raced a late connect past the close
+    spawn_session(std::move(sock));
+  }
+}
+
+void Server::spawn_session(Socket sock) {
+  std::uint64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  int fd = sock.fd();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session_fds_[id] = fd;
+    session_threads_.emplace_back(
+        [this, id](Socket s) {
+          {
+            auto session = std::make_unique<Session>(std::move(s), *this, id);
+            sessions_total_->add();
+            sessions_served_.fetch_add(1, std::memory_order_relaxed);
+            pipeline_->attach_producer();
+            sessions_active_->set(
+                static_cast<std::int64_t>(pipeline_->active_producers()));
+            session->run();
+            pipeline_->detach_producer();
+            sessions_active_->set(
+                static_cast<std::int64_t>(pipeline_->active_producers()));
+          }
+          unregister_session(id);
+        },
+        std::move(sock));
+  }
+}
+
+void Server::unregister_session(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  session_fds_.erase(id);
+  sessions_cv_.notify_all();
+}
+
+bool Server::gated_push(net::Packet&& p, double time_s, ingest::StreamSink* sink,
+                        std::uint64_t stream_seq) {
+  std::shared_lock<std::shared_mutex> gate(ingest_gate_);
+  if (!pipeline_->push(std::move(p), time_s, sink, stream_seq)) return false;
+  records_total_->add();
+  return true;
+}
+
+void Server::note_session_bytes(std::size_t n) {
+  bytes_rx_total_->add(static_cast<std::uint64_t>(n));
+}
+
+void Server::note_session_abort() { aborts_total_->add(); }
+
+std::uint64_t Server::rekey() {
+  // Exclusive gate: no session can push while we wait for the pipeline to go
+  // quiet, so "quiescent" can only flip to true and stay there.
+  std::unique_lock<std::shared_mutex> gate(ingest_gate_);
+  pipeline_->wait_quiescent(std::chrono::milliseconds(30000));
+  std::uint64_t epoch = bank_->key_epoch() + 1;
+  auto keys = std::make_shared<const crypto::KeyStore>(
+      epoch_master_secret(seed_, epoch), topo_->node_count());
+  bank_->rekey(std::move(keys), epoch);
+  rekeys_total_->add();
+  key_epoch_gauge_->set(static_cast<std::int64_t>(epoch));
+  return epoch;
+}
+
+std::string Server::metrics_prometheus() const {
+  return obs::to_prometheus(counters_->registry().scrape());
+}
+
+DrainReport Server::drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (drained_flag_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    return report_;
+  }
+  draining_.store(true, std::memory_order_release);
+  // Only shut the listeners down here: the accept threads may still be
+  // blocked inside accept(), and the fd numbers must stay reserved until
+  // those threads are joined below. close() then releases them.
+  tcp_listener_.shutdown_accept();
+  unix_listener_.shutdown_accept();
+
+  // Wait for live sessions to finish their streams; past a grace period,
+  // force their sockets shut so recv() unblocks and they abort cleanly.
+  {
+    std::unique_lock<std::mutex> lock(sessions_mu_);
+    if (!sessions_cv_.wait_for(lock, std::chrono::seconds(20),
+                               [this] { return session_fds_.empty(); })) {
+      for (auto& [id, fd] : session_fds_) ::shutdown(fd, SHUT_RDWR);
+      sessions_cv_.wait_for(lock, std::chrono::seconds(10),
+                            [this] { return session_fds_.empty(); });
+    }
+  }
+
+  if (started_.load(std::memory_order_acquire)) {
+    pipeline_->close();
+    if (consumer_.joinable()) consumer_.join();
+    for (auto& t : accept_threads_) t.join();
+    accept_threads_.clear();
+  }
+  tcp_listener_.close();
+  unix_listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (auto& t : session_threads_) t.join();
+    session_threads_.clear();
+  }
+  pipeline_->retire_shard_gauges();
+
+  DrainReport report;
+  report.records = pipeline_->stats().records;
+  report.sessions = sessions_served_.load(std::memory_order_relaxed);
+  report.key_epoch = bank_->key_epoch();
+  report.verdict_digest = pipeline_->verdict_digest();
+  report.error = consumer_error_;
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    report_ = report;
+    report_ready_ = true;
+  }
+  drained_flag_.store(true, std::memory_order_release);
+  drained_cv_.notify_all();
+  return report;
+}
+
+DrainReport Server::wait() {
+  std::unique_lock<std::mutex> lock(report_mu_);
+  drained_cv_.wait(lock, [this] { return report_ready_; });
+  return report_;
+}
+
+}  // namespace pnm::serve

@@ -1,0 +1,182 @@
+// The long-running sink daemon behind `pnm serve`.
+//
+// One Server owns the whole verification world of a campaign — topology,
+// key store (per epoch), marking scheme, sharded VerifierBank, traceback
+// engine and one ingest::Pipeline — plus the listeners that feed it:
+//
+//   TCP 127.0.0.1:<port> ┐                         ┌ shard lanes ┐
+//   unix socket <path>   ┼─ accept → Session threads ┼ Pipeline   ┼─ merge
+//                        │   (credit-gated pushes)   └────────────┘   digest
+//   admin 127.0.0.1:<p>  ┴─ /metrics /healthz /drain /rekey
+//
+// Every session pushes into the same pipeline, so the global verdict digest
+// covers the full interleaved arrival order while each session's
+// StreamDigest covers its own stream — both deterministic.
+//
+// Live re-keying (/rekey) is quiesce-swap-resume: a writer lock on the
+// ingest gate stops new pushes, Pipeline::wait_quiescent drains queues,
+// lanes and the reorder buffer to the merge frontier, the VerifierBank swaps
+// to the next epoch's KeyStore (flushing key-dependent PRF caches), and the
+// gate reopens. No record is dropped; records pushed before the swap verify
+// under the old epoch, after it under the new.
+//
+// Drain (/drain) stops the listeners, waits for sessions to finish, closes
+// the pipeline, joins the consumer and reports the final record count and
+// global digest. It is idempotent and is also the daemon's only exit path —
+// Server::wait() blocks until a drain completes.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/campaign.h"
+#include "ingest/pipeline.h"
+#include "serve/session.h"
+#include "serve/socket.h"
+#include "sink/batch_verifier.h"
+#include "sink/traceback.h"
+#include "trace/format.h"
+#include "util/counters.h"
+
+namespace pnm::serve {
+
+class AdminServer;
+
+struct ServerConfig {
+  /// Bootstrap trace: its header supplies the campaign (seed, forwarders,
+  /// scheme, parameters) this sink verifies; its records are NOT replayed.
+  std::string campaign_trace;
+  std::uint16_t tcp_port = 0;    ///< 0 = ephemeral (resolved port via tcp_port())
+  std::string unix_socket_path;  ///< empty = no unix listener
+  std::uint16_t admin_port = 0;  ///< 0 = ephemeral
+  std::size_t shards = 1;
+  std::size_t threads = 1;  ///< verifier workers per shard lane
+  std::size_t batch_size = 64;
+  std::size_t queue_capacity = 1024;
+  std::uint32_t credit_window = 256;
+  bool scoped = false;
+  util::Counters* counters = nullptr;  ///< null = a private instance
+};
+
+struct DrainReport {
+  std::uint64_t records = 0;   ///< records verified across all sessions
+  std::uint64_t sessions = 0;  ///< sessions served over the daemon's life
+  std::uint64_t key_epoch = 0;
+  std::string verdict_digest;  ///< global (arrival-order) digest, hex
+  std::string error;           ///< non-empty if a lane died
+};
+
+class Server {
+ public:
+  /// Builds the campaign world from cfg.campaign_trace's header and binds
+  /// the listeners. Null + *error on any failure; no threads started yet.
+  static std::unique_ptr<Server> create(const ServerConfig& cfg, std::string* error);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawn the pipeline consumer, accept loops and admin plane.
+  void start();
+
+  /// Block until a drain completes (admin /drain or drain() from any
+  /// thread); returns the final report.
+  DrainReport wait();
+
+  // ---- admin surface ----
+  bool healthy() const { return !drained_flag_.load(std::memory_order_acquire); }
+  std::string metrics_prometheus() const;
+  DrainReport drain();
+  /// Quiesce, advance the VerifierBank to the next key epoch, resume.
+  /// Returns the new epoch.
+  std::uint64_t rekey();
+
+  std::uint16_t tcp_port() const { return tcp_listener_.port(); }
+  std::uint16_t admin_port() const;
+  const std::string& unix_socket_path() const { return cfg_.unix_socket_path; }
+
+  // ---- session surface ----
+  const std::string& campaign_id() const { return campaign_id_; }
+  std::uint64_t key_epoch() const { return bank_->key_epoch(); }
+  std::uint32_t credit_window() const { return cfg_.credit_window; }
+  util::Counters* counters() { return counters_; }
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Push one decoded record through the rekey gate (shared lock: many
+  /// sessions push concurrently; /rekey takes the gate exclusively). False
+  /// once the pipeline is closed.
+  bool gated_push(net::Packet&& p, double time_s, ingest::StreamSink* sink,
+                  std::uint64_t stream_seq);
+
+  void note_session_bytes(std::size_t n);
+  void note_session_abort();
+
+ private:
+  explicit Server(const ServerConfig& cfg);
+  void accept_loop(Listener* listener);
+  void spawn_session(Socket sock);
+  void unregister_session(std::uint64_t id);
+
+  ServerConfig cfg_;
+  util::Counters local_counters_;
+  util::Counters* counters_;
+
+  // Campaign world (construction order matters: later members reference
+  // earlier ones).
+  trace::TraceMeta meta_;
+  std::string campaign_id_;
+  std::uint64_t seed_ = 0;
+  std::unique_ptr<net::Topology> topo_;
+  std::shared_ptr<const crypto::KeyStore> keys_;  ///< epoch 0
+  std::unique_ptr<marking::MarkingScheme> scheme_;
+  std::unique_ptr<sink::VerifierBank> bank_;
+  std::unique_ptr<sink::TracebackEngine> engine_;
+  std::unique_ptr<ingest::Pipeline> pipeline_;
+
+  Listener tcp_listener_;
+  Listener unix_listener_;
+  std::unique_ptr<AdminServer> admin_;
+
+  /// Rekey gate: sessions push under shared locks, rekey swaps under the
+  /// exclusive lock. Also orders the epoch swap against every later push.
+  std::shared_mutex ingest_gate_;
+
+  std::thread consumer_;
+  std::vector<std::thread> accept_threads_;
+  std::mutex sessions_mu_;
+  std::condition_variable sessions_cv_;
+  std::unordered_map<std::uint64_t, int> session_fds_;  ///< live sessions
+  std::vector<std::thread> session_threads_;
+  std::atomic<std::uint64_t> next_session_id_{1};
+  std::atomic<std::uint64_t> sessions_served_{0};
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> drained_flag_{false};
+  std::mutex drain_mu_;  ///< serializes drain(); held across the whole drain
+  std::mutex report_mu_;
+  std::condition_variable drained_cv_;
+  bool report_ready_ = false;
+  DrainReport report_;
+  std::string consumer_error_;
+
+  // serve-plane metrics (registered at construction)
+  obs::Counter* sessions_total_;
+  obs::Gauge* sessions_active_;
+  obs::Counter* records_total_;
+  obs::Counter* bytes_rx_total_;
+  obs::Counter* aborts_total_;
+  obs::Counter* rekeys_total_;
+  obs::Gauge* key_epoch_gauge_;
+
+  friend class Session;
+};
+
+}  // namespace pnm::serve

@@ -1,0 +1,64 @@
+// One client connection of the serve daemon: protocol handshake, credit
+// accounting, incremental `.pnmtrace` reassembly, and the per-stream digest
+// receipt.
+//
+// A session is a thread blocked in recv(): bytes feed a MsgParser, data
+// messages feed a trace::TraceStreamParser, and each decoded record is
+// pushed into the shared ingest pipeline tagged with this session's
+// StreamDigest and per-stream sequence number — so the client's digest folds
+// in *its* stream order no matter how the shard lanes interleave it with
+// other sessions. On Eof the session blocks on the StreamDigest's record
+// barrier (every pushed record verified and folded) and answers with the
+// Digest receipt, which must equal `pnm replay` over the same trace.
+//
+// Credits are replenished in record-frame units as outcomes complete; every
+// completed outcome counts — pushed, CRC-rejected, malformed — so client and
+// server debit/credit the same event stream and cannot drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ingest/stream_digest.h"
+#include "serve/protocol.h"
+#include "serve/socket.h"
+#include "trace/reader.h"
+
+namespace pnm::serve {
+
+class Server;
+
+class Session {
+ public:
+  Session(Socket sock, Server& server, std::uint64_t id);
+
+  /// Blocking connection loop; returns when the peer is done or dead. Call
+  /// on a dedicated thread.
+  void run();
+
+  std::uint64_t id() const { return id_; }
+
+ private:
+  /// False = session over (clean or aborted).
+  bool handle_msg(Msg msg);
+  bool drain_trace_frames();
+  bool finish_and_report();
+  bool send_msg(MsgType type, ByteView payload);
+  void abort_session(const std::string& reason);
+  void flush_credits(bool force);
+
+  Socket sock_;
+  Server& server_;
+  std::uint64_t id_;
+  MsgParser msgs_;
+  trace::TraceStreamParser trace_;
+  ingest::StreamDigest digest_;
+  bool hello_done_ = false;
+  bool header_checked_ = false;
+  bool done_ = false;
+  std::uint64_t stream_seq_ = 0;     ///< records pushed (the digest's domain)
+  std::uint64_t outcomes_ = 0;       ///< completed record-frame outcomes
+  std::uint64_t credits_owed_ = 0;   ///< outcomes not yet replenished
+};
+
+}  // namespace pnm::serve

@@ -22,7 +22,7 @@ BatchVerifier::BatchVerifier(const marking::MarkingScheme& scheme,
                              const crypto::KeyStore& keys, BatchVerifierConfig cfg,
                              const net::Topology* topo, util::Counters* counters)
     : scheme_(scheme),
-      keys_(keys),
+      keys_(&keys),
       cfg_(cfg),
       topo_(topo),
       counters_(counters ? counters : &util::Counters::global()),
@@ -38,11 +38,19 @@ BatchVerifier::BatchVerifier(const marking::MarkingScheme& scheme,
 }
 
 marking::VerifyResult BatchVerifier::verify_one(const net::Packet& p) {
+  const crypto::KeyStore& keys = *keys_.load(std::memory_order_acquire);
   if (cfg_.strategy == BatchStrategy::kScoped) {
-    return scoped_verify_pnm(p, keys_, *topo_, scheme_.config(), nullptr,
+    return scoped_verify_pnm(p, keys, *topo_, scheme_.config(), nullptr,
                              cfg_.use_cache ? &cache_ : nullptr, counters_);
   }
-  return scheme_.verify(p, keys_);
+  return scheme_.verify(p, keys);
+}
+
+void BatchVerifier::rebind_keys(const crypto::KeyStore& keys) {
+  keys_.store(&keys, std::memory_order_release);
+  // Memoized anon-IDs were computed under the old keys; a stale hit would
+  // silently verify against the retired epoch.
+  cache_.clear();
 }
 
 std::vector<marking::VerifyResult> BatchVerifier::verify_batch(
@@ -109,6 +117,13 @@ VerifierBank::VerifierBank(const marking::MarkingScheme& scheme,
     lanes_.push_back(
         std::make_unique<BatchVerifier>(scheme, keys, cfg, topo, counters));
   }
+}
+
+void VerifierBank::rekey(std::shared_ptr<const crypto::KeyStore> keys,
+                         std::uint64_t epoch) {
+  retained_keys_.push_back(keys);
+  for (auto& lane : lanes_) lane->rebind_keys(*keys);
+  epoch_.store(epoch, std::memory_order_release);
 }
 
 }  // namespace pnm::sink

@@ -14,6 +14,8 @@
 // scheduling never consults an Rng, so seeded experiments stay reproducible.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -70,9 +72,16 @@ class BatchVerifier {
   crypto::PrfCache& cache() { return cache_; }
   util::Counters& counters() { return *counters_; }
 
+  /// Swap the campaign key set this verifier evaluates against and flush the
+  /// PrfCache (its memoized anon-IDs are key-dependent). NOT safe against a
+  /// concurrent verify_batch on the same lane — callers quiesce the lane
+  /// first (Pipeline::wait_quiescent is the daemon's barrier). `keys` must
+  /// outlive every verify that follows.
+  void rebind_keys(const crypto::KeyStore& keys);
+
  private:
   const marking::MarkingScheme& scheme_;
-  const crypto::KeyStore& keys_;
+  std::atomic<const crypto::KeyStore*> keys_;
   BatchVerifierConfig cfg_;
   const net::Topology* topo_;
   util::Counters* counters_;
@@ -102,8 +111,18 @@ class VerifierBank {
   BatchVerifier& lane(std::size_t i) { return *lanes_[i]; }
   util::Counters& counters() { return lanes_.front()->counters(); }
 
+  /// Atomically (from the caller's point of view — all lanes must be
+  /// quiescent, see BatchVerifier::rebind_keys) advance the bank to a new
+  /// campaign key epoch. The bank retains every store it has ever been given
+  /// so references handed out under earlier epochs (e.g. the
+  /// TracebackEngine's campaign binding) stay valid for the bank's lifetime.
+  void rekey(std::shared_ptr<const crypto::KeyStore> keys, std::uint64_t epoch);
+  std::uint64_t key_epoch() const { return epoch_.load(std::memory_order_acquire); }
+
  private:
   std::vector<std::unique_ptr<BatchVerifier>> lanes_;
+  std::vector<std::shared_ptr<const crypto::KeyStore>> retained_keys_;
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace pnm::sink

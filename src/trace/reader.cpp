@@ -146,6 +146,118 @@ void TraceReader::rewind() {
   finished_ = false;
 }
 
+// ---------------------------------------------------------------------------
+// TraceStreamParser
+// ---------------------------------------------------------------------------
+
+std::uint32_t TraceStreamParser::peek_u32(std::size_t offset) const {
+  const std::uint8_t* b = at(offset);
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+void TraceStreamParser::consume(std::size_t n) {
+  head_ += n;
+  // Compact once the dead prefix dominates the buffer, so memory stays
+  // bounded by the unparsed tail, not the whole session history.
+  if (head_ > 4096 && head_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+  }
+}
+
+void TraceStreamParser::feed(ByteView bytes) {
+  if (finished_ || dead_) return;
+  append(buffer_, bytes);
+}
+
+void TraceStreamParser::finish() { finished_ = true; }
+
+bool TraceStreamParser::parse_header() {
+  auto fail = [&](const std::string& why) {
+    header_failed_ = true;
+    dead_ = true;
+    header_error_ = why;
+    return false;
+  };
+  if (!saw_magic_) {
+    if (!have(sizeof(kMagic) + 2)) {
+      if (finished_) return fail("truncated magic/version");
+      return false;
+    }
+    if (std::memcmp(at(0), kMagic, sizeof(kMagic)) != 0)
+      return fail("bad magic (not a .pnmtrace stream)");
+    version_ = static_cast<std::uint16_t>(*at(6) | (*at(7) << 8));
+    if (version_ != kFormatVersion)
+      return fail("unsupported format version " + std::to_string(version_));
+    consume(sizeof(kMagic) + 2);
+    saw_magic_ = true;
+  }
+  // Header frame: any defect invalidates the whole stream, as in TraceReader.
+  if (!have(4)) {
+    if (finished_) return fail("truncated header frame");
+    return false;
+  }
+  std::uint32_t len = peek_u32(0);
+  if (len > kMaxFrameBytes) return fail("oversized header frame");
+  if (!have(4 + static_cast<std::size_t>(len) + 4)) {
+    if (finished_) return fail("truncated header frame");
+    return false;
+  }
+  Bytes payload(at(4), at(4) + len);
+  std::uint32_t stored_crc = peek_u32(4 + len);
+  if (util::crc32(payload) != stored_crc) return fail("header CRC mismatch");
+  auto meta = TraceMeta::decode(payload);
+  if (!meta) return fail("malformed header metadata");
+  consume(4 + static_cast<std::size_t>(len) + 4);
+  meta_ = std::move(*meta);
+  header_ready_ = true;
+  return true;
+}
+
+std::optional<ReadOutcome> TraceStreamParser::poll() {
+  if (dead_) return std::nullopt;
+  if (!header_ready_ && !parse_header()) return std::nullopt;
+
+  if (!have(4)) {
+    if (finished_ && buffered() > 0) {
+      // Disconnect mid-length-prefix: same kTruncated a file reader reports.
+      dead_ = true;
+      return ReadOutcome{ReadStatus::kTruncated, {}};
+    }
+    return std::nullopt;  // clean end (finished_ && empty) or need more bytes
+  }
+  std::uint32_t len = peek_u32(0);
+  if (len > kMaxFrameBytes) {
+    dead_ = true;
+    return ReadOutcome{ReadStatus::kOversized, {}};
+  }
+  if (!have(4 + static_cast<std::size_t>(len) + 4)) {
+    if (finished_) {
+      dead_ = true;
+      return ReadOutcome{ReadStatus::kTruncated, {}};
+    }
+    return std::nullopt;
+  }
+
+  Bytes payload(at(4), at(4) + len);
+  std::uint32_t stored_crc = peek_u32(4 + len);
+  consume(4 + static_cast<std::size_t>(len) + 4);
+
+  if (util::crc32(payload) != stored_crc) {
+    if (counters_) counters_->add(util::Metric::kTraceCrcErrors);
+    return ReadOutcome{ReadStatus::kBadCrc, {}};
+  }
+  auto record = TraceRecord::decode(payload);
+  if (!record) {
+    if (counters_) counters_->add(util::Metric::kTraceDecodeErrors);
+    return ReadOutcome{ReadStatus::kBadRecord, {}};
+  }
+  if (counters_) counters_->add(util::Metric::kTraceRecordsRead);
+  return ReadOutcome{ReadStatus::kRecord, std::move(*record)};
+}
+
 TraceStat TraceReader::stat() {
   TraceStat s;
   if (!valid_) return s;

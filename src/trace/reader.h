@@ -105,4 +105,81 @@ class TraceReader {
   util::Counters* counters_ = nullptr;
 };
 
+/// TraceStreamParser — the incremental (push-based) twin of TraceReader, for
+/// byte streams that arrive in arbitrary chunks with no seeking: sockets.
+///
+/// feed() appends whatever bytes the transport produced — a frame may be
+/// split across any number of feeds, or several frames may land in one —
+/// and poll() yields the same per-record outcomes TraceReader::next() would
+/// have produced from the equivalent file. Error containment matches the
+/// file reader exactly: bad-CRC and malformed-payload frames are skipped
+/// (the length prefix still framed them, so the stream stays in sync
+/// without seeking), an insane length prefix is kOversized and poisons the
+/// stream before any allocation. The one socket-specific addition is
+/// finish(): call it when the peer disconnects — bytes still buffered
+/// mid-frame then surface as the kTruncated a file reader reports at a cut
+/// tail.
+///
+/// Typical session loop:
+///
+///   parser.feed(chunk);
+///   while (auto out = parser.poll()) handle(*out);
+///   ...                       // on EOF/disconnect:
+///   parser.finish();
+///   while (auto out = parser.poll()) handle(*out);
+class TraceStreamParser {
+ public:
+  /// Header fully parsed and CRC-clean; meta() is meaningful.
+  bool header_ready() const { return header_ready_; }
+  /// Stream prefix (magic/version/header frame) was rejected; the parser
+  /// yields nothing further. header_error() says why.
+  bool header_failed() const { return header_failed_; }
+  const std::string& header_error() const { return header_error_; }
+
+  const TraceMeta& meta() const { return meta_; }
+  std::uint16_t version() const { return version_; }
+
+  /// Same per-record metering contract as TraceReader::meter_into.
+  void meter_into(util::Counters* counters) { counters_ = counters; }
+
+  /// Append transport bytes. Cheap: one buffer append, no parsing.
+  void feed(ByteView bytes);
+
+  /// Signal end of input (clean EOF or disconnect). Idempotent; further
+  /// feeds are ignored.
+  void finish();
+
+  /// Next outcome parseable from the buffered bytes, or nullopt when more
+  /// input is needed (or the stream ended cleanly / fatally).
+  std::optional<ReadOutcome> poll();
+
+  /// A fatal outcome was emitted (or the header failed); the parser will
+  /// yield nothing further.
+  bool dead() const { return dead_; }
+
+  /// Bytes buffered but not yet consumed by completed parse steps.
+  std::size_t buffered() const { return buffer_.size() - head_; }
+
+ private:
+  bool have(std::size_t n) const { return buffered() >= n; }
+  const std::uint8_t* at(std::size_t offset) const { return buffer_.data() + head_ + offset; }
+  std::uint32_t peek_u32(std::size_t offset) const;
+  void consume(std::size_t n);
+  bool parse_header();
+
+  /// Flat buffer with a consumed-prefix head offset, compacted when the
+  /// dead prefix dominates — appends stay O(chunk), no per-byte shuffling.
+  Bytes buffer_;
+  std::size_t head_ = 0;
+  bool finished_ = false;
+  bool dead_ = false;
+  bool header_ready_ = false;
+  bool header_failed_ = false;
+  bool saw_magic_ = false;
+  std::string header_error_;
+  TraceMeta meta_;
+  std::uint16_t version_ = 0;
+  util::Counters* counters_ = nullptr;
+};
+
 }  // namespace pnm::trace

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -25,6 +26,7 @@
 #include "ingest/pipeline.h"
 #include "ingest/replay.h"
 #include "ingest/shard_router.h"
+#include "ingest/stream_digest.h"
 #include "net/report.h"
 #include "net/wire.h"
 #include "sink/order_matrix.h"
@@ -507,6 +509,156 @@ TEST(Pipeline, CountersMeterRecordsAndQueueDepth) {
   EXPECT_EQ(counters.get(util::Metric::kIngestRecords), r.stats.records);
   EXPECT_EQ(counters.get(util::Metric::kTraceCrcErrors), 0u);
   EXPECT_GE(counters.get(util::Metric::kIngestQueueHighWater), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon seams: stream-tagged pushes, quiescence, shard-gauge lifecycle.
+// These are the Pipeline hooks `pnm serve` builds on; tests/serve_test.cpp
+// exercises them end-to-end over sockets, these pin the contracts in-process.
+
+// The verify stack replay_file assembles internally, with the Pipeline left
+// exposed so a test can drive push()/run() directly. Campaign parameters
+// mirror recorded_campaign().
+struct LiveStack {
+  static ingest::PipelineConfig with_shards(ingest::PipelineConfig pcfg,
+                                            std::size_t shards) {
+    pcfg.shards = shards;
+    return pcfg;
+  }
+
+  net::Topology topo;
+  crypto::KeyStore keys;
+  std::unique_ptr<marking::MarkingScheme> scheme;
+  sink::VerifierBank bank;
+  sink::TracebackEngine engine;
+  ingest::Pipeline pipeline;
+
+  LiveStack(util::Counters& counters, std::size_t shards,
+            ingest::PipelineConfig pcfg = {})
+      : topo(net::Topology::chain(8)),
+        keys(core::campaign_master_secret(21), topo.node_count()),
+        scheme(marking::make_scheme(marking::SchemeKind::kPnm, {})),
+        bank(*scheme, keys, shards, {}, &topo, &counters),
+        engine(*scheme, keys, topo),
+        pipeline(bank, &engine, with_shards(pcfg, shards), &counters) {}
+};
+
+// Streams every record of the recorded campaign into the pipeline with a
+// per-stream tap attached; returns the number of records pushed.
+std::uint64_t push_stream(ingest::Pipeline& pipeline, const std::string& path,
+                          ingest::StreamSink* sink) {
+  trace::TraceReader reader(path);
+  EXPECT_TRUE(reader.valid());
+  std::uint64_t stream_seq = 0;
+  while (auto outcome = reader.next()) {
+    if (outcome->status != trace::ReadStatus::kRecord) continue;
+    auto packet = net::decode_packet(outcome->record.wire);
+    if (!packet) continue;
+    packet->delivered_by = outcome->record.delivered_by;
+    if (!pipeline.push(std::move(*packet), outcome->record.time_s(), sink,
+                       stream_seq))
+      break;
+    ++stream_seq;
+  }
+  return stream_seq;
+}
+
+TEST(Pipeline, StreamTaggedPushMatchesReplayDigest) {
+  // The serve determinism contract at its root: one client's records pushed
+  // with a StreamDigest tap fold to the exact `pnm replay` digest of that
+  // client's trace — whatever the shard count.
+  const auto& rc = recorded_campaign();
+  ingest::ReplayResult reference = ingest::replay_file(rc.path);
+  ASSERT_TRUE(reference.ok) << reference.error;
+
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    util::Counters counters;
+    LiveStack stack(counters, shards);
+    ingest::StreamDigest digest;
+    stack.pipeline.attach_producer();
+    EXPECT_EQ(stack.pipeline.active_producers(), 1u);
+    std::uint64_t pushed = push_stream(stack.pipeline, rc.path, &digest);
+    stack.pipeline.detach_producer();
+    EXPECT_FALSE(stack.pipeline.quiescent());  // records sit in the queues
+    stack.pipeline.close();
+    stack.pipeline.run();
+
+    ASSERT_TRUE(digest.wait_for_records(pushed, std::chrono::milliseconds(5000)));
+    EXPECT_EQ(digest.records(), reference.stats.records);
+    EXPECT_EQ(digest.marks(), reference.marks_verified);
+    EXPECT_EQ(digest.digest_hex(), reference.verdict_digest)
+        << "shards=" << shards;
+    // Single client: the global arrival order is the stream order, so the
+    // run digest coincides too.
+    EXPECT_EQ(stack.pipeline.verdict_digest(), reference.verdict_digest);
+    EXPECT_EQ(stack.pipeline.active_producers(), 0u);
+  }
+}
+
+TEST(Pipeline, ConcurrentStreamTapsFoldIndependentDigests) {
+  // Two sessions replaying the same trace interleave arbitrarily in the
+  // global arrival order, yet each tap must still fold its own stream's
+  // replay digest.
+  const auto& rc = recorded_campaign();
+  ingest::ReplayResult reference = ingest::replay_file(rc.path);
+  ASSERT_TRUE(reference.ok) << reference.error;
+
+  util::Counters counters;
+  LiveStack stack(counters, 2);
+  ingest::StreamDigest digests[2];
+  std::uint64_t pushed[2] = {0, 0};
+  std::vector<std::thread> producers;
+  for (int c = 0; c < 2; ++c) {
+    producers.emplace_back([&, c] {
+      stack.pipeline.attach_producer();
+      pushed[c] = push_stream(stack.pipeline, rc.path, &digests[c]);
+      stack.pipeline.detach_producer();
+    });
+  }
+  for (auto& t : producers) t.join();
+  stack.pipeline.close();
+  stack.pipeline.run();
+
+  EXPECT_TRUE(stack.pipeline.quiescent());
+  EXPECT_TRUE(stack.pipeline.wait_quiescent(std::chrono::milliseconds(0)));
+  EXPECT_EQ(stack.pipeline.stats().records, 2 * reference.stats.records);
+  for (int c = 0; c < 2; ++c) {
+    ASSERT_TRUE(digests[c].wait_for_records(pushed[c],
+                                            std::chrono::milliseconds(5000)));
+    EXPECT_EQ(digests[c].records(), reference.stats.records) << "client " << c;
+    EXPECT_EQ(digests[c].digest_hex(), reference.verdict_digest)
+        << "client " << c;
+  }
+}
+
+TEST(Pipeline, ShardGaugeLifecycleAcrossRestarts) {
+  // A daemon that restarts its pipeline with a different shard count must not
+  // export stale `ingest_queue_depth_shard<i>` series forever: retirement
+  // hides them, the next construction revives exactly the lanes it uses.
+  const auto& rc = recorded_campaign();
+  util::Counters counters;
+  {
+    LiveStack stack(counters, 2);
+    trace::TraceReader reader(rc.path);
+    ASSERT_TRUE(reader.valid());
+    stack.pipeline.run_from_trace(reader);
+    EXPECT_TRUE(counters.registry().exported("ingest_queue_depth_shard0"));
+    EXPECT_TRUE(counters.registry().exported("ingest_queue_depth_shard1"));
+    stack.pipeline.retire_shard_gauges();
+    EXPECT_FALSE(counters.registry().exported("ingest_queue_depth_shard0"));
+    EXPECT_FALSE(counters.registry().exported("ingest_queue_depth_shard1"));
+  }
+
+  // Restart over the same registry with one lane: shard0 revives (zeroed),
+  // the stale shard1 series stays hidden from scrapes.
+  LiveStack stack(counters, 1);
+  EXPECT_TRUE(counters.registry().exported("ingest_queue_depth_shard0"));
+  EXPECT_FALSE(counters.registry().exported("ingest_queue_depth_shard1"));
+  trace::TraceReader reader(rc.path);
+  ASSERT_TRUE(reader.valid());
+  stack.pipeline.run_from_trace(reader);
+  EXPECT_EQ(stack.pipeline.stats().shards, 1u);
+  EXPECT_FALSE(counters.registry().exported("ingest_queue_depth_shard1"));
 }
 
 }  // namespace

@@ -218,6 +218,60 @@ TEST(MetricsRegistry, ResetZeroesInstruments) {
   EXPECT_EQ(snap.find("h")->hist.count, 0u);
 }
 
+TEST(MetricsRegistry, RetireHidesFromScrapeButKeepsReferencesValid) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("shard0_depth");
+  g.set(7);
+  reg.counter("other").add(1);
+  EXPECT_TRUE(reg.exported("shard0_depth"));
+
+  reg.retire("shard0_depth");
+  EXPECT_FALSE(reg.exported("shard0_depth"));
+  EXPECT_TRUE(reg.exported("other"));
+  EXPECT_EQ(reg.size(), 1u);
+  auto snap = reg.scrape();
+  EXPECT_EQ(snap.find("shard0_depth"), nullptr);
+  ASSERT_NE(snap.find("other"), nullptr);
+
+  // The instrument reference stays alive — a straggler thread writing to a
+  // retired gauge is harmless, just unexported.
+  g.set(99);
+  EXPECT_EQ(g.value(), 99);
+}
+
+TEST(MetricsRegistry, RetireOfUnknownNameIsANoOp) {
+  MetricsRegistry reg;
+  reg.retire("never-registered");
+  EXPECT_FALSE(reg.exported("never-registered"));
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(MetricsRegistry, InternRevivesARetiredInstrumentZeroed) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(42);
+  reg.retire("depth");
+
+  // Re-interning the same name revives the same instrument, reset to zero —
+  // a restarted pipeline must not inherit the old run's parting value.
+  Gauge& g2 = reg.gauge("depth");
+  EXPECT_EQ(&g, &g2);
+  EXPECT_EQ(g2.value(), 0);
+  EXPECT_TRUE(reg.exported("depth"));
+  EXPECT_EQ(reg.size(), 1u);
+  auto snap = reg.scrape();
+  ASSERT_NE(snap.find("depth"), nullptr);
+}
+
+TEST(MetricsRegistry, RetiredNameStillTypeChecks) {
+  MetricsRegistry reg;
+  reg.gauge("depth");
+  reg.retire("depth");
+  // Retirement hides the series; it does not free the name for a different
+  // instrument type.
+  EXPECT_THROW(reg.counter("depth"), std::logic_error);
+}
+
 // -------------------------------------------------------------------- spans
 
 TEST(Span, NestingAndOrdering) {

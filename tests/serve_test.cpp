@@ -1,0 +1,295 @@
+// End-to-end tests for the `pnm serve` daemon: an in-process Server on
+// ephemeral ports, driven by the real loadgen client over the real protocol.
+// The contracts pinned here are the subsystem's acceptance bar:
+//   - per-client digest receipts are byte-identical to `pnm replay` on the
+//     client's own trace, for any shard count and session interleaving;
+//   - graceful drain lets in-flight work complete and reports a global
+//     digest that matches replay when arrival order is a single stream;
+//   - live /rekey advances the key epoch without dropping a single record;
+//   - sessions for a different campaign are refused at the handshake.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.h"
+#include "ingest/replay.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+
+namespace pnm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixture: two recorded traces of the SAME campaign (seed/forwarders/scheme
+// drive the campaign id; the attack does not), plus one foreign-campaign
+// trace. Recording is the expensive step, so it happens once per process.
+
+struct ServeFixture {
+  std::string trace_a;        // removal attack
+  std::string trace_b;        // insertion attack, same campaign
+  std::string trace_foreign;  // different seed → different campaign id
+  ingest::ReplayResult replay_a;
+  ingest::ReplayResult replay_b;
+};
+
+const ServeFixture& serve_fixture() {
+  static const ServeFixture* fixture = [] {
+    auto* f = new ServeFixture;
+    std::string base = ::testing::TempDir() + "/serve_test." +
+                       std::to_string(::getpid());
+    auto record = [&](const std::string& tag, std::uint64_t seed,
+                      attack::AttackKind attack) {
+      std::string path = base + "." + tag + ".pnmtrace";
+      core::ChainExperimentConfig cfg;
+      cfg.forwarders = 8;
+      cfg.packets = 120;
+      cfg.seed = seed;
+      cfg.attack = attack;
+      cfg.record_path = path;
+      core::run_chain_experiment(cfg);
+      return path;
+    };
+    f->trace_a = record("a", 21, attack::AttackKind::kRemoval);
+    f->trace_b = record("b", 21, attack::AttackKind::kInsertion);
+    f->trace_foreign = record("x", 31, attack::AttackKind::kRemoval);
+    f->replay_a = ingest::replay_file(f->trace_a);
+    f->replay_b = ingest::replay_file(f->trace_b);
+    return f;
+  }();
+  return *fixture;
+}
+
+std::unique_ptr<serve::Server> make_server(serve::ServerConfig cfg) {
+  const auto& fx = serve_fixture();
+  if (cfg.campaign_trace.empty()) cfg.campaign_trace = fx.trace_a;
+  std::string error;
+  auto server = serve::Server::create(cfg, &error);
+  EXPECT_NE(server, nullptr) << error;
+  if (server) server->start();
+  return server;
+}
+
+const serve::SessionResult* result_for(const serve::LoadgenStats& stats,
+                                       const std::string& trace,
+                                       std::size_t nth = 0) {
+  std::size_t seen = 0;
+  for (const auto& r : stats.session_results)
+    if (r.trace == trace && seen++ == nth) return &r;
+  return nullptr;
+}
+
+TEST(Serve, ConcurrentSessionsGetReplayIdenticalDigests) {
+  const auto& fx = serve_fixture();
+  ASSERT_TRUE(fx.replay_a.ok) << fx.replay_a.error;
+  ASSERT_TRUE(fx.replay_b.ok) << fx.replay_b.error;
+
+  serve::ServerConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = 2;
+  cfg.batch_size = 16;        // force many small batches across lanes
+  cfg.credit_window = 32;     // force real credit round-trips
+  auto server = make_server(cfg);
+  ASSERT_NE(server, nullptr);
+
+  serve::LoadgenConfig lg;
+  lg.port = server->tcp_port();
+  lg.traces = {fx.trace_a, fx.trace_b};
+  lg.connections = 4;  // two concurrent sessions per trace
+  lg.ping_every = 16;
+  serve::LoadgenStats stats = serve::run_loadgen(lg);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  ASSERT_EQ(stats.sessions, 4u);
+
+  // Every session of trace A folds exactly replay(A)'s digest, B likewise —
+  // regardless of how the four streams interleaved in the shared pipeline.
+  for (std::size_t nth : {std::size_t{0}, std::size_t{1}}) {
+    const auto* ra = result_for(stats, fx.trace_a, nth);
+    const auto* rb = result_for(stats, fx.trace_b, nth);
+    ASSERT_NE(ra, nullptr);
+    ASSERT_NE(rb, nullptr);
+    EXPECT_EQ(ra->records, fx.replay_a.stats.records);
+    EXPECT_EQ(ra->digest_hex, fx.replay_a.verdict_digest) << "session " << nth;
+    EXPECT_EQ(rb->records, fx.replay_b.stats.records);
+    EXPECT_EQ(rb->digest_hex, fx.replay_b.verdict_digest) << "session " << nth;
+  }
+  EXPECT_NE(fx.replay_a.verdict_digest, fx.replay_b.verdict_digest);
+
+  serve::DrainReport report = server->drain();
+  EXPECT_EQ(report.records,
+            2 * (fx.replay_a.stats.records + fx.replay_b.stats.records));
+  EXPECT_EQ(report.sessions, 4u);
+  EXPECT_TRUE(report.error.empty()) << report.error;
+}
+
+TEST(Serve, UnixSocketSessionMatchesTcp) {
+  const auto& fx = serve_fixture();
+  serve::ServerConfig cfg;
+  cfg.unix_socket_path = ::testing::TempDir() + "/serve_test." +
+                         std::to_string(::getpid()) + ".sock";
+  auto server = make_server(cfg);
+  ASSERT_NE(server, nullptr);
+
+  serve::LoadgenConfig lg;
+  lg.unix_socket_path = server->unix_socket_path();
+  lg.traces = {fx.trace_a};
+  serve::LoadgenStats stats = serve::run_loadgen(lg);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  ASSERT_EQ(stats.sessions, 1u);
+  EXPECT_EQ(stats.session_results[0].digest_hex, fx.replay_a.verdict_digest);
+  server->drain();
+}
+
+TEST(Serve, DrainReportsReplayDigestForASingleStream) {
+  // With exactly one session the global arrival order IS the stream order,
+  // so the drain report's digest must equal `pnm replay` on that trace —
+  // and draining again must return the same final report.
+  const auto& fx = serve_fixture();
+  auto server = make_server({});
+  ASSERT_NE(server, nullptr);
+
+  serve::LoadgenConfig lg;
+  lg.port = server->tcp_port();
+  lg.traces = {fx.trace_a};
+  serve::LoadgenStats stats = serve::run_loadgen(lg);
+  ASSERT_TRUE(stats.ok) << stats.error;
+
+  EXPECT_TRUE(server->healthy());
+  serve::DrainReport report = server->drain();
+  EXPECT_FALSE(server->healthy());
+  EXPECT_EQ(report.records, fx.replay_a.stats.records);
+  EXPECT_EQ(report.sessions, 1u);
+  EXPECT_EQ(report.verdict_digest, fx.replay_a.verdict_digest);
+
+  serve::DrainReport again = server->drain();
+  EXPECT_EQ(again.records, report.records);
+  EXPECT_EQ(again.verdict_digest, report.verdict_digest);
+  // wait() after a completed drain returns immediately with the same report.
+  serve::DrainReport waited = server->wait();
+  EXPECT_EQ(waited.verdict_digest, report.verdict_digest);
+}
+
+TEST(Serve, RekeyMidStreamDropsNoRecords) {
+  // Sessions stream continuously while the main thread swaps key epochs
+  // under them. The acceptance bar: every session still gets every record
+  // acknowledged (the Digest receipt counts exactly the records it sent) and
+  // the epoch advances — records crossing the boundary verify under the new
+  // keys instead of being dropped.
+  const auto& fx = serve_fixture();
+  serve::ServerConfig cfg;
+  cfg.shards = 2;
+  cfg.credit_window = 16;  // small window → streaming spans the rekeys
+  auto server = make_server(cfg);
+  ASSERT_NE(server, nullptr);
+  ASSERT_EQ(server->key_epoch(), 0u);
+
+  std::atomic<bool> streaming_done{false};
+  serve::LoadgenStats stats;
+  std::thread client([&] {
+    serve::LoadgenConfig lg;
+    lg.port = server->tcp_port();
+    lg.traces = {fx.trace_a, fx.trace_b};
+    lg.connections = 2;
+    lg.repeat = 3;  // 6 sessions back to back: rekeys land mid-stream
+    stats = serve::run_loadgen(lg);
+    streaming_done.store(true);
+  });
+
+  std::uint64_t epochs = 0;
+  while (!streaming_done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    epochs = server->rekey();
+  }
+  client.join();
+
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_GE(epochs, 1u);
+  EXPECT_EQ(server->key_epoch(), epochs);
+  ASSERT_EQ(stats.sessions, 6u);
+  for (const auto& r : stats.session_results) {
+    std::size_t expected = r.trace == fx.trace_a ? fx.replay_a.stats.records
+                                                 : fx.replay_b.stats.records;
+    EXPECT_EQ(r.records, expected) << r.trace;  // zero drops, full ack
+    EXPECT_FALSE(r.digest_hex.empty());
+  }
+  serve::DrainReport report = server->drain();
+  EXPECT_EQ(report.key_epoch, epochs);
+  EXPECT_EQ(report.records,
+            3 * (fx.replay_a.stats.records + fx.replay_b.stats.records));
+}
+
+TEST(Serve, SessionsBeforeAndAfterRekeyBothComplete) {
+  // The epoch boundary between whole sessions: a pre-rekey session and a
+  // post-rekey session both get full acknowledgement; their digests differ
+  // because marks verify under different keys (the digest covers verdicts).
+  const auto& fx = serve_fixture();
+  auto server = make_server({});
+  ASSERT_NE(server, nullptr);
+
+  serve::LoadgenConfig lg;
+  lg.port = server->tcp_port();
+  lg.traces = {fx.trace_a};
+  serve::LoadgenStats before = serve::run_loadgen(lg);
+  ASSERT_TRUE(before.ok) << before.error;
+  EXPECT_EQ(before.session_results[0].digest_hex, fx.replay_a.verdict_digest);
+
+  EXPECT_EQ(server->rekey(), 1u);
+
+  serve::LoadgenStats after = serve::run_loadgen(lg);
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_EQ(after.session_results[0].records, fx.replay_a.stats.records);
+  EXPECT_NE(after.session_results[0].digest_hex,
+            before.session_results[0].digest_hex);
+  server->drain();
+}
+
+TEST(Serve, ForeignCampaignIsRefusedAtHandshake) {
+  const auto& fx = serve_fixture();
+  auto server = make_server({});
+  ASSERT_NE(server, nullptr);
+
+  serve::LoadgenConfig lg;
+  lg.port = server->tcp_port();
+  lg.traces = {fx.trace_foreign};
+  serve::LoadgenStats stats = serve::run_loadgen(lg);
+  EXPECT_FALSE(stats.ok);
+  EXPECT_NE(stats.error.find("campaign"), std::string::npos) << stats.error;
+
+  // The refusal must not poison the daemon for legitimate clients.
+  lg.traces = {fx.trace_a};
+  serve::LoadgenStats good = serve::run_loadgen(lg);
+  ASSERT_TRUE(good.ok) << good.error;
+  EXPECT_EQ(good.session_results[0].digest_hex, fx.replay_a.verdict_digest);
+  serve::DrainReport report = server->drain();
+  EXPECT_EQ(report.records, fx.replay_a.stats.records);
+}
+
+TEST(Serve, MetricsExposeServePlane) {
+  const auto& fx = serve_fixture();
+  auto server = make_server({});
+  ASSERT_NE(server, nullptr);
+
+  serve::LoadgenConfig lg;
+  lg.port = server->tcp_port();
+  lg.traces = {fx.trace_a};
+  serve::LoadgenStats stats = serve::run_loadgen(lg);
+  ASSERT_TRUE(stats.ok) << stats.error;
+
+  std::string prom = server->metrics_prometheus();
+  for (const char* name :
+       {"pnm_serve_sessions_total", "pnm_serve_records_total",
+        "pnm_serve_bytes_rx_total", "pnm_serve_key_epoch",
+        "pnm_ingest_records_total", "pnm_packets_verified_total"}) {
+    EXPECT_NE(prom.find(name), std::string::npos) << name << "\n" << prom;
+  }
+  server->drain();
+}
+
+}  // namespace
+}  // namespace pnm

@@ -5,8 +5,10 @@
 // errors or continue past fatal ones.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "net/report.h"
 #include "net/wire.h"
@@ -330,6 +332,165 @@ TEST(TraceHardening, StatOnDamagedStreamCountsEveryClass) {
   EXPECT_EQ(s.bad_crc, 1u);
   EXPECT_TRUE(s.truncated);
   EXPECT_FALSE(s.oversized);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental stream parser (the socket-facing twin of TraceReader).
+
+ByteView blob_view(const std::string& blob, std::size_t off, std::size_t len) {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(blob.data()) + off, len);
+}
+
+struct ParsedStream {
+  std::size_t records = 0;
+  std::size_t bad_crc = 0;
+  std::size_t bad_record = 0;
+  bool truncated = false;
+  bool oversized = false;
+  std::vector<Bytes> wires;
+};
+
+/// Feed `blob` into a parser in `chunk`-sized pieces (finishing at the end)
+/// and collect every outcome.
+ParsedStream feed_in_chunks(trace::TraceStreamParser& parser, const std::string& blob,
+                            std::size_t chunk) {
+  ParsedStream out;
+  auto drain = [&] {
+    while (auto outcome = parser.poll()) {
+      switch (outcome->status) {
+        case trace::ReadStatus::kRecord:
+          ++out.records;
+          out.wires.push_back(outcome->record.wire);
+          break;
+        case trace::ReadStatus::kBadCrc: ++out.bad_crc; break;
+        case trace::ReadStatus::kBadRecord: ++out.bad_record; break;
+        case trace::ReadStatus::kTruncated: out.truncated = true; break;
+        case trace::ReadStatus::kOversized: out.oversized = true; break;
+      }
+    }
+  };
+  for (std::size_t off = 0; off < blob.size(); off += chunk) {
+    parser.feed(blob_view(blob, off, std::min(chunk, blob.size() - off)));
+    drain();
+  }
+  parser.finish();
+  drain();
+  return out;
+}
+
+TEST(TraceStreamParser, ReassemblesAcrossEveryChunkSize) {
+  std::string blob = build_blob(12);
+  // Byte-at-a-time, tiny, prime-sized, and larger-than-frame chunks must all
+  // produce the identical record stream.
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{3}, std::size_t{17},
+                            std::size_t{64}, std::size_t{4096}}) {
+    trace::TraceStreamParser parser;
+    ParsedStream got = feed_in_chunks(parser, blob, chunk);
+    ASSERT_TRUE(parser.header_ready()) << "chunk " << chunk;
+    EXPECT_EQ(parser.meta().get_u64(trace::kMetaSeed), 42u);
+    EXPECT_EQ(got.records, 12u) << "chunk " << chunk;
+    EXPECT_FALSE(got.truncated);
+    for (std::size_t n = 0; n < got.wires.size(); ++n)
+      EXPECT_EQ(got.wires[n],
+                net::encode_packet(sample_packet(static_cast<std::uint32_t>(n))));
+  }
+}
+
+TEST(TraceStreamParser, HeaderSplitAcrossFeeds) {
+  std::string blob = build_blob(2);
+  trace::TraceStreamParser parser;
+  // Drip the magic, version and header frame one byte at a time; the header
+  // must become ready exactly once all its bytes are in.
+  std::size_t header_end = first_record_offset(blob);
+  for (std::size_t i = 0; i < header_end - 1; ++i)
+    parser.feed(blob_view(blob, i, 1));
+  // Header parsing is poll-driven: an incomplete header yields no outcome
+  // and leaves the parser waiting (not dead, not failed).
+  EXPECT_FALSE(parser.poll().has_value());
+  EXPECT_FALSE(parser.header_ready());
+  EXPECT_FALSE(parser.header_failed());
+  parser.feed(blob_view(blob, header_end - 1, blob.size() - (header_end - 1)));
+  std::size_t records = 0;
+  while (auto outcome = parser.poll())
+    if (outcome->status == trace::ReadStatus::kRecord) ++records;
+  EXPECT_TRUE(parser.header_ready());
+  EXPECT_EQ(parser.version(), trace::kFormatVersion);
+  EXPECT_EQ(records, 2u);
+}
+
+TEST(TraceStreamParser, MidFrameDisconnectIsTruncated) {
+  std::string blob = build_blob(5);
+  trace::TraceStreamParser parser;
+  // The peer vanishes 3 bytes into the last record frame.
+  ParsedStream got = feed_in_chunks(parser, blob.substr(0, blob.size() - 3), 7);
+  EXPECT_EQ(got.records, 4u);
+  EXPECT_TRUE(got.truncated);
+  EXPECT_TRUE(parser.dead());
+  // A dead parser ignores resurrection attempts.
+  parser.feed(blob_view(blob, 0, blob.size()));
+  EXPECT_FALSE(parser.poll().has_value());
+}
+
+TEST(TraceStreamParser, MidHeaderDisconnectFailsHeader) {
+  std::string blob = build_blob(1);
+  trace::TraceStreamParser parser;
+  parser.feed(blob_view(blob, 0, 10));  // magic + version + 2 header bytes
+  parser.finish();
+  EXPECT_FALSE(parser.poll().has_value());
+  EXPECT_TRUE(parser.header_failed());
+  EXPECT_TRUE(parser.dead());
+}
+
+TEST(TraceStreamParser, BadCrcRecordSkippedStreamStaysInSync) {
+  std::string blob = build_blob(6);
+  std::size_t rec0 = first_record_offset(blob);
+  blob[rec0 + 4 + 2] ^= 0x01;
+  trace::TraceStreamParser parser;
+  ParsedStream got = feed_in_chunks(parser, blob, 11);
+  EXPECT_EQ(got.bad_crc, 1u);
+  EXPECT_EQ(got.records, 5u);
+  EXPECT_FALSE(parser.dead());
+}
+
+TEST(TraceStreamParser, OversizedLengthPrefixKillsStream) {
+  std::string blob = build_blob(2);
+  ByteWriter bomb;
+  bomb.u32(0x7FFFFFFFu);
+  blob.append(reinterpret_cast<const char*>(bomb.bytes().data()), bomb.bytes().size());
+  trace::TraceStreamParser parser;
+  ParsedStream got = feed_in_chunks(parser, blob, 13);
+  EXPECT_EQ(got.records, 2u);
+  EXPECT_TRUE(got.oversized);
+  EXPECT_TRUE(parser.dead());
+}
+
+TEST(TraceStreamParser, RejectsBadMagicImmediately) {
+  std::string blob = build_blob(1);
+  blob[0] = 'X';
+  trace::TraceStreamParser parser;
+  parser.feed(blob_view(blob, 0, blob.size()));
+  EXPECT_FALSE(parser.poll().has_value());
+  EXPECT_TRUE(parser.header_failed());
+  EXPECT_NE(parser.header_error().find("magic"), std::string::npos);
+}
+
+TEST(TraceStreamParser, MatchesTraceReaderOutcomeForOutcome) {
+  // Same damaged stream through both readers: outcomes must agree exactly.
+  std::string blob = build_blob(9);
+  std::size_t rec0 = first_record_offset(blob);
+  blob[rec0 + 4 + 1] ^= 0x80;  // CRC-fail record 0
+  std::istringstream in(blob);
+  trace::TraceReader reader(in);
+  ASSERT_TRUE(reader.valid());
+  std::size_t ref_records = 0, ref_bad = 0;
+  while (auto outcome = reader.next()) {
+    if (outcome->status == trace::ReadStatus::kRecord) ++ref_records;
+    if (outcome->status == trace::ReadStatus::kBadCrc) ++ref_bad;
+  }
+  trace::TraceStreamParser parser;
+  ParsedStream got = feed_in_chunks(parser, blob, 5);
+  EXPECT_EQ(got.records, ref_records);
+  EXPECT_EQ(got.bad_crc, ref_bad);
 }
 
 }  // namespace

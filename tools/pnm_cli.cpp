@@ -37,6 +37,25 @@
 //   pnm trace-stat --in FILE.pnmtrace
 //       Header metadata plus a record/error census of the file.
 //
+//   pnm serve     --campaign FILE.pnmtrace [--port P] [--unix PATH]
+//                 [--admin-port P] [--shards N] [--threads T] [--batch B]
+//                 [--credit-window W] [--port-file FILE] [--scoped 1]
+//       Long-running sink daemon: accepts concurrent client sessions over
+//       TCP (loopback) and an optional unix socket, streams their
+//       `.pnmtrace` frames through one sharded ingest pipeline, and exposes
+//       an admin plane (/metrics /healthz /drain /rekey) on a second port.
+//       Runs until something hits /drain; then prints the final record
+//       count and global verdict digest. --port-file writes the resolved
+//       tcp/admin ports (ephemeral binds) for scripts.
+//
+//   pnm loadgen   --traces A[,B,...] (--port P | --unix PATH) [--host H]
+//                 [--connections M] [--repeat N] [--ping-every K]
+//                 [--json FILE]
+//       Protocol client: replays the traces over M concurrent sessions
+//       against a running daemon; prints records/s and Ping/Pong RTT tail
+//       latency, plus each session's digest receipt (these must equal
+//       `pnm replay` digests of the same traces).
+//
 //   pnm list
 //       Available schemes and attacks.
 //
@@ -74,6 +93,8 @@
 #include "ingest/replay.h"
 #include "obs/exposition.h"
 #include "obs/span.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 #include "sink/batch_verifier.h"
 #include "sink/route_render.h"
 #include "trace/reader.h"
@@ -484,6 +505,125 @@ int cmd_model(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  std::string campaign = args.str("campaign", "");
+  if (campaign.empty()) {
+    std::fprintf(stderr, "serve: --campaign FILE.pnmtrace is required\n");
+    return 2;
+  }
+  pnm::serve::ServerConfig cfg;
+  cfg.campaign_trace = campaign;
+  cfg.tcp_port = static_cast<std::uint16_t>(args.num("port", 0));
+  cfg.unix_socket_path = args.str("unix", "");
+  cfg.admin_port = static_cast<std::uint16_t>(args.num("admin-port", 0));
+  cfg.shards = args.num("shards", 1);
+  cfg.threads = args.num("threads", 1);
+  cfg.batch_size = args.num("batch", 64);
+  cfg.queue_capacity = args.num("queue", 1024);
+  cfg.credit_window = static_cast<std::uint32_t>(args.num("credit-window", 256));
+  cfg.scoped = args.num("scoped", 0) != 0;
+  cfg.counters = &pnm::util::Counters::global();
+
+  std::string error;
+  auto server = pnm::serve::Server::create(cfg, &error);
+  if (!server) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  server->start();
+
+  std::string port_file = args.str("port-file", "");
+  if (!port_file.empty()) {
+    std::string body = "tcp=" + std::to_string(server->tcp_port()) +
+                       "\nadmin=" + std::to_string(server->admin_port()) +
+                       "\nunix=" + server->unix_socket_path() + "\n";
+    std::ofstream out(port_file, std::ios::binary | std::ios::trunc);
+    out << body;
+    if (!out) {
+      std::fprintf(stderr, "serve: cannot write port file '%s'\n", port_file.c_str());
+      return 1;
+    }
+  }
+  std::printf("pnm serve: sessions on 127.0.0.1:%u%s%s, admin on 127.0.0.1:%u\n",
+              server->tcp_port(),
+              server->unix_socket_path().empty() ? "" : " and unix ",
+              server->unix_socket_path().c_str(), server->admin_port());
+  std::fflush(stdout);
+
+  pnm::serve::DrainReport report = server->wait();
+  Table t({"metric", "value"});
+  t.set_title("serve drained");
+  t.add_row({"sessions served", Table::num(report.sessions)});
+  t.add_row({"records verified", Table::num(report.records)});
+  t.add_row({"key epoch", Table::num(report.key_epoch)});
+  std::fputs(t.render().c_str(), stdout);
+  std::printf("verdict digest: %s\n", report.verdict_digest.c_str());
+  if (!report.error.empty()) {
+    std::fprintf(stderr, "serve: pipeline error: %s\n", report.error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_loadgen(const Args& args) {
+  pnm::serve::LoadgenConfig cfg;
+  cfg.host = args.str("host", "127.0.0.1");
+  cfg.port = static_cast<std::uint16_t>(args.num("port", 0));
+  cfg.unix_socket_path = args.str("unix", "");
+  cfg.connections = args.num("connections", 1);
+  cfg.repeat = args.num("repeat", 1);
+  cfg.ping_every = args.num("ping-every", 32);
+  std::string traces = args.str("traces", "");
+  for (std::size_t pos = 0; pos < traces.size();) {
+    std::size_t comma = traces.find(',', pos);
+    if (comma == std::string::npos) comma = traces.size();
+    if (comma > pos) cfg.traces.push_back(traces.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (cfg.traces.empty()) {
+    std::fprintf(stderr, "loadgen: --traces A[,B,...] is required\n");
+    return 2;
+  }
+  if (cfg.port == 0 && cfg.unix_socket_path.empty()) {
+    std::fprintf(stderr, "loadgen: --port P or --unix PATH is required\n");
+    return 2;
+  }
+
+  pnm::serve::LoadgenStats stats = pnm::serve::run_loadgen(cfg);
+
+  Table t({"metric", "value"});
+  t.set_title("loadgen");
+  t.add_row({"sessions", Table::num(stats.sessions)});
+  t.add_row({"records acknowledged", Table::num(stats.records)});
+  t.add_row({"elapsed (s)", Table::num(stats.elapsed_s, 3)});
+  t.add_row({"records/s", Table::num(stats.records_per_s, 0)});
+  t.add_row({"rtt samples", Table::num(stats.rtt_samples)});
+  t.add_row({"rtt p50/p95/p99 (ms)", Table::num(stats.rtt_p50_ms, 3) + " / " +
+                                         Table::num(stats.rtt_p95_ms, 3) + " / " +
+                                         Table::num(stats.rtt_p99_ms, 3)});
+  t.add_row({"rtt max (ms)", Table::num(stats.rtt_max_ms, 3)});
+  std::fputs(t.render().c_str(), stdout);
+  for (const auto& s : stats.session_results) {
+    if (s.ok)
+      std::printf("stream digest: %s %s\n", s.trace.c_str(), s.digest_hex.c_str());
+    else
+      std::printf("stream failed: %s %s\n", s.trace.c_str(), s.error.c_str());
+  }
+  if (!stats.error.empty())
+    std::fprintf(stderr, "loadgen: %s\n", stats.error.c_str());
+
+  std::string json_path = args.str("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path, std::ios::binary | std::ios::trunc);
+    out << stats.to_json() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "loadgen: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return stats.ok ? 0 : 1;
+}
+
 int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "list") return cmd_list();
   if (cmd == "experiment") return cmd_experiment(args);
@@ -494,6 +634,8 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "record") return cmd_record(args);
   if (cmd == "replay") return cmd_replay(args);
   if (cmd == "trace-stat") return cmd_trace_stat(args);
+  if (cmd == "serve") return cmd_serve(args);
+  if (cmd == "loadgen") return cmd_loadgen(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }
@@ -515,7 +657,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <experiment|campaign|matrix|model|verify|record|replay|"
-                 "trace-stat|list> [--flag value ...]\n"
+                 "trace-stat|serve|loadgen|list> [--flag value ...]\n"
                  "       [--metrics-out FILE] [--metrics-format json|prom]\n"
                  "       [--sha-backend scalar|sse2|avx2|shani]\n"
                  "       [--span-trace FILE] [--metrics-every-ms N]\n",

@@ -71,11 +71,12 @@ bool Pipeline::push(net::Packet&& p, double time_s) {
   return push(std::move(p), time_s, nullptr, 0);
 }
 
-bool Pipeline::push(net::Packet&& p, double time_s, StreamSink* sink,
+bool Pipeline::push(net::Packet&& p, double time_s, std::shared_ptr<StreamSink> sink,
                     std::uint64_t stream_seq) {
   std::size_t lane = router_.shard_of(p);
   std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
-  if (queues_[lane]->push(Item{seq, std::move(p), time_s, sink, stream_seq}))
+  if (queues_[lane]->push(
+          Item{seq, std::move(p), time_s, std::move(sink), stream_seq}))
     return true;
   // The queue was closed after the sequence number was taken: tombstone it
   // so the merge frontier can advance past the gap.

@@ -103,8 +103,11 @@ class Pipeline {
   /// verified, its lane additionally invokes `sink->on_entry(stream_seq,
   /// fingerprint, verdict)` — from the lane thread, concurrently with other
   /// lanes — so a session can fold its own per-stream digest while the
-  /// global merge proceeds in arrival order. `sink` must outlive the run.
-  bool push(net::Packet&& p, double time_s, StreamSink* sink,
+  /// global merge proceeds in arrival order. Ownership of `sink` is shared:
+  /// every queued record holds a reference, so a producer may abandon its
+  /// stream (client disconnect) and drop its handle while records are still
+  /// in queues or lane batches without dangling the sink.
+  bool push(net::Packet&& p, double time_s, std::shared_ptr<StreamSink> sink,
             std::uint64_t stream_seq);
   /// Signal end of input; run() returns once every lane drains.
   void close();
@@ -161,8 +164,8 @@ class Pipeline {
     std::uint64_t seq = 0;
     net::Packet packet;
     double time_s = 0.0;
-    StreamSink* sink = nullptr;     ///< per-stream tap (serve sessions)
-    std::uint64_t stream_seq = 0;   ///< seq within the producing stream
+    std::shared_ptr<StreamSink> sink;  ///< per-stream tap, co-owned (serve sessions)
+    std::uint64_t stream_seq = 0;      ///< seq within the producing stream
   };
 
   void init_lanes();

@@ -84,9 +84,15 @@ void AdminServer::handle(Socket sock) {
     response = http_response(200, "OK", drain_json(server_.drain()) + "\n",
                              "application/json");
   } else if (path == "/rekey") {
-    response = http_response(
-        200, "OK", "{\"epoch\":" + std::to_string(server_.rekey()) + "}\n",
-        "application/json");
+    if (auto epoch = server_.rekey()) {
+      response = http_response(
+          200, "OK", "{\"epoch\":" + std::to_string(*epoch) + "}\n",
+          "application/json");
+    } else {
+      response = http_response(
+          503, "Service Unavailable",
+          "rekey aborted: pipeline did not quiesce; keys unchanged\n");
+    }
   } else {
     response = http_response(404, "Not Found", "unknown endpoint\n");
   }

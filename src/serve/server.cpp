@@ -162,18 +162,20 @@ void Server::spawn_session(Socket sock) {
     session_fds_[id] = fd;
     session_threads_.emplace_back(
         [this, id](Socket s) {
-          {
-            auto session = std::make_unique<Session>(std::move(s), *this, id);
-            sessions_total_->add();
-            sessions_served_.fetch_add(1, std::memory_order_relaxed);
-            pipeline_->attach_producer();
-            sessions_active_->set(
-                static_cast<std::int64_t>(pipeline_->active_producers()));
-            session->run();
-            pipeline_->detach_producer();
-            sessions_active_->set(
-                static_cast<std::int64_t>(pipeline_->active_producers()));
-          }
+          auto session = std::make_unique<Session>(std::move(s), *this, id);
+          sessions_total_->add();
+          sessions_served_.fetch_add(1, std::memory_order_relaxed);
+          pipeline_->attach_producer();
+          sessions_active_->set(
+              static_cast<std::int64_t>(pipeline_->active_producers()));
+          session->run();
+          pipeline_->detach_producer();
+          sessions_active_->set(
+              static_cast<std::int64_t>(pipeline_->active_producers()));
+          // Unregister while the Session (and its socket) is still alive:
+          // the fd in session_fds_ is then always this session's own open
+          // descriptor, so drain's forced ::shutdown can never hit a number
+          // the kernel recycled onto an unrelated socket.
           unregister_session(id);
         },
         std::move(sock));
@@ -186,10 +188,12 @@ void Server::unregister_session(std::uint64_t id) {
   sessions_cv_.notify_all();
 }
 
-bool Server::gated_push(net::Packet&& p, double time_s, ingest::StreamSink* sink,
+bool Server::gated_push(net::Packet&& p, double time_s,
+                        std::shared_ptr<ingest::StreamSink> sink,
                         std::uint64_t stream_seq) {
   std::shared_lock<std::shared_mutex> gate(ingest_gate_);
-  if (!pipeline_->push(std::move(p), time_s, sink, stream_seq)) return false;
+  if (!pipeline_->push(std::move(p), time_s, std::move(sink), stream_seq))
+    return false;
   records_total_->add();
   return true;
 }
@@ -200,11 +204,16 @@ void Server::note_session_bytes(std::size_t n) {
 
 void Server::note_session_abort() { aborts_total_->add(); }
 
-std::uint64_t Server::rekey() {
+std::optional<std::uint64_t> Server::rekey() {
   // Exclusive gate: no session can push while we wait for the pipeline to go
   // quiet, so "quiescent" can only flip to true and stay there.
   std::unique_lock<std::shared_mutex> gate(ingest_gate_);
-  pipeline_->wait_quiescent(std::chrono::milliseconds(30000));
+  if (!pipeline_->wait_quiescent(std::chrono::milliseconds(30000))) {
+    // Records are still in queues or lane batches past the grace period:
+    // swapping keys now would race the lanes' verify caches and verify
+    // in-flight records under the wrong epoch. Keep the old keys and fail.
+    return std::nullopt;
+  }
   std::uint64_t epoch = bank_->key_epoch() + 1;
   auto keys = std::make_shared<const crypto::KeyStore>(
       epoch_master_secret(seed_, epoch), topo_->node_count());
@@ -252,9 +261,15 @@ DrainReport Server::drain() {
   tcp_listener_.close();
   unix_listener_.close();
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (auto& t : session_threads_) t.join();
-    session_threads_.clear();
+    // Join outside sessions_mu_: a session thread's exit path takes that
+    // mutex in unregister_session, so joining under the lock would deadlock
+    // against any session that outlived the forced-shutdown grace period.
+    std::vector<std::thread> session_threads;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      session_threads.swap(session_threads_);
+    }
+    for (auto& t : session_threads) t.join();
   }
   pipeline_->retire_shard_gauges();
 

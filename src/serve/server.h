@@ -18,7 +18,9 @@
 // lanes and the reorder buffer to the merge frontier, the VerifierBank swaps
 // to the next epoch's KeyStore (flushing key-dependent PRF caches), and the
 // gate reopens. No record is dropped; records pushed before the swap verify
-// under the old epoch, after it under the new.
+// under the old epoch, after it under the new. If the pipeline fails to
+// quiesce within the grace period the swap is abandoned (keys unchanged) and
+// /rekey reports failure instead of racing the live lanes.
 //
 // Drain (/drain) stops the listeners, waits for sessions to finish, closes
 // the pipeline, joins the consumer and reports the final record count and
@@ -31,6 +33,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -95,8 +98,11 @@ class Server {
   std::string metrics_prometheus() const;
   DrainReport drain();
   /// Quiesce, advance the VerifierBank to the next key epoch, resume.
-  /// Returns the new epoch.
-  std::uint64_t rekey();
+  /// Returns the new epoch, or nullopt if the pipeline failed to quiesce
+  /// within the grace period — in that case the keys are left untouched
+  /// (swapping under live lanes would race their PRF caches) and the caller
+  /// may retry.
+  std::optional<std::uint64_t> rekey();
 
   std::uint16_t tcp_port() const { return tcp_listener_.port(); }
   std::uint16_t admin_port() const;
@@ -111,8 +117,10 @@ class Server {
 
   /// Push one decoded record through the rekey gate (shared lock: many
   /// sessions push concurrently; /rekey takes the gate exclusively). False
-  /// once the pipeline is closed.
-  bool gated_push(net::Packet&& p, double time_s, ingest::StreamSink* sink,
+  /// once the pipeline is closed. The pipeline co-owns `sink` per queued
+  /// record, so a session may be destroyed while its records are in flight.
+  bool gated_push(net::Packet&& p, double time_s,
+                  std::shared_ptr<ingest::StreamSink> sink,
                   std::uint64_t stream_seq);
 
   void note_session_bytes(std::size_t n);

@@ -101,6 +101,10 @@ bool Session::handle_msg(Msg msg) {
 
 bool Session::drain_trace_frames() {
   while (auto outcome = trace_.poll()) {
+    // The stream header always parses before the first record frame pops
+    // out, so this refuses a foreign-campaign trace before any of its
+    // records reaches the pipeline (or the global verdict digest).
+    if (!check_campaign()) return false;
     switch (outcome->status) {
       case trace::ReadStatus::kRecord: {
         ++outcomes_;
@@ -112,7 +116,7 @@ bool Session::drain_trace_frames() {
         }
         packet->delivered_by = outcome->record.delivered_by;
         if (!server_.gated_push(std::move(*packet), outcome->record.time_s(),
-                                &digest_, stream_seq_)) {
+                                digest_, stream_seq_)) {
           abort_session("sink is draining");
           return false;
         }
@@ -135,14 +139,19 @@ bool Session::drain_trace_frames() {
     abort_session("bad trace header: " + trace_.header_error());
     return false;
   }
-  if (trace_.header_ready() && !header_checked_) {
-    header_checked_ = true;
-    if (campaign_id_from_meta(trace_.meta()) != server_.campaign_id()) {
-      abort_session("trace campaign does not match sink campaign");
-      return false;
-    }
-  }
+  // A chunk can complete the header without yielding a record yet.
+  if (!check_campaign()) return false;
   flush_credits(true);
+  return true;
+}
+
+bool Session::check_campaign() {
+  if (header_checked_ || !trace_.header_ready()) return true;
+  header_checked_ = true;
+  if (campaign_id_from_meta(trace_.meta()) != server_.campaign_id()) {
+    abort_session("trace campaign does not match sink campaign");
+    return false;
+  }
   return true;
 }
 
@@ -158,15 +167,15 @@ void Session::flush_credits(bool force) {
 bool Session::finish_and_report() {
   // EOF barrier: every pushed record has cleared its lane and folded into
   // this session's digest (and the global merge has it in flight or done).
-  if (!digest_.wait_for_records(static_cast<std::size_t>(stream_seq_),
-                                std::chrono::milliseconds(60000))) {
+  if (!digest_->wait_for_records(static_cast<std::size_t>(stream_seq_),
+                                 std::chrono::milliseconds(60000))) {
     abort_session("timed out waiting for verification to settle");
     return false;
   }
   DigestReport report;
-  report.records = digest_.records();
-  report.marks = digest_.marks();
-  report.digest_hex = digest_.digest_hex();
+  report.records = digest_->records();
+  report.marks = digest_->marks();
+  report.digest_hex = digest_->digest_hex();
   send_msg(MsgType::kDigest, encode_digest(report));
   done_ = true;
   return false;  // session complete; run() exits

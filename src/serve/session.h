@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "ingest/stream_digest.h"
@@ -42,6 +43,9 @@ class Session {
   /// False = session over (clean or aborted).
   bool handle_msg(Msg msg);
   bool drain_trace_frames();
+  /// Once the trace header is parsed, verify (exactly once) that the stream
+  /// belongs to this sink's campaign; aborts and returns false on mismatch.
+  bool check_campaign();
   bool finish_and_report();
   bool send_msg(MsgType type, ByteView payload);
   void abort_session(const std::string& reason);
@@ -52,7 +56,11 @@ class Session {
   std::uint64_t id_;
   MsgParser msgs_;
   trace::TraceStreamParser trace_;
-  ingest::StreamDigest digest_;
+  /// Shared with every pipeline item this session pushes: if the session
+  /// dies mid-stream (peer disconnect, abort), records still in shard
+  /// queues keep the digest alive until the lanes fold them.
+  std::shared_ptr<ingest::StreamDigest> digest_ =
+      std::make_shared<ingest::StreamDigest>();
   bool hello_done_ = false;
   bool header_checked_ = false;
   bool done_ = false;

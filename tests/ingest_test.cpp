@@ -546,7 +546,7 @@ struct LiveStack {
 // Streams every record of the recorded campaign into the pipeline with a
 // per-stream tap attached; returns the number of records pushed.
 std::uint64_t push_stream(ingest::Pipeline& pipeline, const std::string& path,
-                          ingest::StreamSink* sink) {
+                          std::shared_ptr<ingest::StreamSink> sink) {
   trace::TraceReader reader(path);
   EXPECT_TRUE(reader.valid());
   std::uint64_t stream_seq = 0;
@@ -574,19 +574,19 @@ TEST(Pipeline, StreamTaggedPushMatchesReplayDigest) {
   for (std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
     util::Counters counters;
     LiveStack stack(counters, shards);
-    ingest::StreamDigest digest;
+    auto digest = std::make_shared<ingest::StreamDigest>();
     stack.pipeline.attach_producer();
     EXPECT_EQ(stack.pipeline.active_producers(), 1u);
-    std::uint64_t pushed = push_stream(stack.pipeline, rc.path, &digest);
+    std::uint64_t pushed = push_stream(stack.pipeline, rc.path, digest);
     stack.pipeline.detach_producer();
     EXPECT_FALSE(stack.pipeline.quiescent());  // records sit in the queues
     stack.pipeline.close();
     stack.pipeline.run();
 
-    ASSERT_TRUE(digest.wait_for_records(pushed, std::chrono::milliseconds(5000)));
-    EXPECT_EQ(digest.records(), reference.stats.records);
-    EXPECT_EQ(digest.marks(), reference.marks_verified);
-    EXPECT_EQ(digest.digest_hex(), reference.verdict_digest)
+    ASSERT_TRUE(digest->wait_for_records(pushed, std::chrono::milliseconds(5000)));
+    EXPECT_EQ(digest->records(), reference.stats.records);
+    EXPECT_EQ(digest->marks(), reference.marks_verified);
+    EXPECT_EQ(digest->digest_hex(), reference.verdict_digest)
         << "shards=" << shards;
     // Single client: the global arrival order is the stream order, so the
     // run digest coincides too.
@@ -605,13 +605,15 @@ TEST(Pipeline, ConcurrentStreamTapsFoldIndependentDigests) {
 
   util::Counters counters;
   LiveStack stack(counters, 2);
-  ingest::StreamDigest digests[2];
+  std::shared_ptr<ingest::StreamDigest> digests[2] = {
+      std::make_shared<ingest::StreamDigest>(),
+      std::make_shared<ingest::StreamDigest>()};
   std::uint64_t pushed[2] = {0, 0};
   std::vector<std::thread> producers;
   for (int c = 0; c < 2; ++c) {
     producers.emplace_back([&, c] {
       stack.pipeline.attach_producer();
-      pushed[c] = push_stream(stack.pipeline, rc.path, &digests[c]);
+      pushed[c] = push_stream(stack.pipeline, rc.path, digests[c]);
       stack.pipeline.detach_producer();
     });
   }
@@ -623,12 +625,35 @@ TEST(Pipeline, ConcurrentStreamTapsFoldIndependentDigests) {
   EXPECT_TRUE(stack.pipeline.wait_quiescent(std::chrono::milliseconds(0)));
   EXPECT_EQ(stack.pipeline.stats().records, 2 * reference.stats.records);
   for (int c = 0; c < 2; ++c) {
-    ASSERT_TRUE(digests[c].wait_for_records(pushed[c],
-                                            std::chrono::milliseconds(5000)));
-    EXPECT_EQ(digests[c].records(), reference.stats.records) << "client " << c;
-    EXPECT_EQ(digests[c].digest_hex(), reference.verdict_digest)
+    ASSERT_TRUE(digests[c]->wait_for_records(pushed[c],
+                                             std::chrono::milliseconds(5000)));
+    EXPECT_EQ(digests[c]->records(), reference.stats.records) << "client " << c;
+    EXPECT_EQ(digests[c]->digest_hex(), reference.verdict_digest)
         << "client " << c;
   }
+}
+
+TEST(Pipeline, AbandonedStreamSinkOutlivesProducer) {
+  // A serve session that dies mid-stream (peer disconnect) drops its digest
+  // handle while its records still sit in the shard queues. The pipeline
+  // co-owns the sink per queued item, so the lanes must still be able to
+  // fold into it — under ASan this test is the use-after-free regression.
+  const auto& rc = recorded_campaign();
+  util::Counters counters;
+  LiveStack stack(counters, 2);
+  std::weak_ptr<ingest::StreamDigest> watch;
+  std::uint64_t pushed = 0;
+  {
+    auto digest = std::make_shared<ingest::StreamDigest>();
+    watch = digest;
+    pushed = push_stream(stack.pipeline, rc.path, digest);
+  }  // producer handle gone; every record is still queued
+  ASSERT_GT(pushed, 0u);
+  EXPECT_FALSE(watch.expired());  // queued items keep the sink alive
+  stack.pipeline.close();
+  stack.pipeline.run();
+  EXPECT_EQ(stack.pipeline.stats().records, static_cast<std::size_t>(pushed));
+  EXPECT_TRUE(watch.expired());  // folded and released once the run drained
 }
 
 TEST(Pipeline, ShardGaugeLifecycleAcrossRestarts) {

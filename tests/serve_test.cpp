@@ -14,6 +14,9 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
+#include <iterator>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,7 +24,9 @@
 #include "core/campaign.h"
 #include "ingest/replay.h"
 #include "serve/loadgen.h"
+#include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/socket.h"
 
 namespace pnm {
 namespace {
@@ -202,11 +207,18 @@ TEST(Serve, RekeyMidStreamDropsNoRecords) {
   });
 
   std::uint64_t epochs = 0;
+  bool rekey_timed_out = false;
   while (!streaming_done.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    epochs = server->rekey();
+    std::optional<std::uint64_t> epoch = server->rekey();
+    if (!epoch) {  // join the client before failing the test
+      rekey_timed_out = true;
+      break;
+    }
+    epochs = *epoch;
   }
   client.join();
+  ASSERT_FALSE(rekey_timed_out) << "rekey failed to quiesce the pipeline";
 
   ASSERT_TRUE(stats.ok) << stats.error;
   EXPECT_GE(epochs, 1u);
@@ -239,7 +251,7 @@ TEST(Serve, SessionsBeforeAndAfterRekeyBothComplete) {
   ASSERT_TRUE(before.ok) << before.error;
   EXPECT_EQ(before.session_results[0].digest_hex, fx.replay_a.verdict_digest);
 
-  EXPECT_EQ(server->rekey(), 1u);
+  ASSERT_EQ(server->rekey().value_or(0), 1u);
 
   serve::LoadgenStats after = serve::run_loadgen(lg);
   ASSERT_TRUE(after.ok) << after.error;
@@ -247,6 +259,51 @@ TEST(Serve, SessionsBeforeAndAfterRekeyBothComplete) {
   EXPECT_NE(after.session_results[0].digest_hex,
             before.session_results[0].digest_hex);
   server->drain();
+}
+
+TEST(Serve, MidStreamDisconnectLeavesDaemonHealthy) {
+  // A client that pushes records and then vanishes without Eof tears its
+  // session down while those records may still sit in shard queues; the
+  // pipeline's shared ownership of the stream sink must keep the digest
+  // alive (under ASan this is the use-after-free regression), and the
+  // daemon must keep serving later clients.
+  const auto& fx = serve_fixture();
+  auto server = make_server({});
+  ASSERT_NE(server, nullptr);
+
+  std::ifstream in(fx.trace_a, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string raw((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  {
+    // Raw protocol client: Hello, the whole trace in one TraceData message,
+    // then an abrupt close — no Eof, no reads of acks or credits.
+    std::string error;
+    serve::Socket sock =
+        serve::Socket::connect_tcp("127.0.0.1", server->tcp_port(), &error);
+    ASSERT_TRUE(sock.valid()) << error;
+    serve::Hello hello;
+    hello.campaign_id = server->campaign_id();
+    Bytes framed =
+        serve::encode_msg(serve::MsgType::kHello, serve::encode_hello(hello));
+    ASSERT_TRUE(sock.send_all(ByteView(framed.data(), framed.size())));
+    framed = serve::encode_msg(
+        serve::MsgType::kTraceData,
+        ByteView(reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size()));
+    ASSERT_TRUE(sock.send_all(ByteView(framed.data(), framed.size())));
+  }  // socket closes here, mid-stream
+
+  // The daemon survives: a well-behaved session still gets its
+  // replay-identical digest, and drain completes with no lane error.
+  serve::LoadgenConfig lg;
+  lg.port = server->tcp_port();
+  lg.traces = {fx.trace_a};
+  serve::LoadgenStats good = serve::run_loadgen(lg);
+  ASSERT_TRUE(good.ok) << good.error;
+  EXPECT_EQ(good.session_results[0].digest_hex, fx.replay_a.verdict_digest);
+  serve::DrainReport report = server->drain();
+  EXPECT_TRUE(report.error.empty()) << report.error;
+  EXPECT_GE(report.records, fx.replay_a.stats.records);
 }
 
 TEST(Serve, ForeignCampaignIsRefusedAtHandshake) {

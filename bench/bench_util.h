@@ -16,6 +16,7 @@ namespace pnm::bench {
 struct BenchArgs {
   std::size_t runs = 0;  ///< 0 = use the bench's default
   std::uint64_t seed = 1;
+  std::size_t jobs = 1;  ///< worker threads for independent runs (0 = all cores)
   bool csv = false;
 };
 
@@ -26,10 +27,12 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.runs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      args.jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       args.csv = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--runs N] [--seed S] [--csv]\n", argv[0]);
+      std::printf("usage: %s [--runs N] [--seed S] [--jobs J] [--csv]\n", argv[0]);
       std::exit(0);
     }
   }

@@ -10,6 +10,7 @@
 #include "analysis/models.h"
 #include "bench_util.h"
 #include "core/campaign.h"
+#include "net/campaign_runner.h"
 
 int main(int argc, char** argv) {
   using pnm::Table;
@@ -23,24 +24,33 @@ int main(int argc, char** argv) {
   // coverage[cfg][x] = sum over runs of (# markers seen after x packets).
   std::vector<std::vector<double>> coverage(3, std::vector<double>(max_packets + 1, 0.0));
 
+  // Runs are independent simulations; fan them across --jobs workers and
+  // accumulate in run order so the sums are byte-identical for any J.
+  pnm::net::CampaignRunner runner(args.jobs);
   for (std::size_t li = 0; li < 3; ++li) {
     std::size_t n = lengths[li];
-    for (std::size_t r = 0; r < runs; ++r) {
-      pnm::core::ChainExperimentConfig cfg;
-      cfg.forwarders = n;
-      cfg.packets = max_packets;
-      cfg.seed = args.seed * 1000003 + r * 7919 + li;
-      std::vector<std::size_t> per_packet(max_packets + 1, 0);
-      pnm::core::run_chain_experiment(
-          cfg, [&](std::size_t count, const pnm::sink::TracebackEngine& engine) {
-            if (count <= max_packets) per_packet[count] = engine.markers_seen().size();
-          });
-      // Carry forward (coverage is monotone; fill any gaps).
-      for (std::size_t x = 1; x <= max_packets; ++x)
-        per_packet[x] = std::max(per_packet[x], per_packet[x - 1]);
+    std::function<std::vector<std::size_t>(std::size_t)> one_run =
+        [&](std::size_t r) {
+          pnm::core::ChainExperimentConfig cfg;
+          cfg.forwarders = n;
+          cfg.packets = max_packets;
+          cfg.seed = args.seed * 1000003 + r * 7919 + li;
+          std::vector<std::size_t> per_packet(max_packets + 1, 0);
+          pnm::core::run_chain_experiment(
+              cfg, [&](std::size_t count, const pnm::sink::TracebackEngine& engine) {
+                if (count <= max_packets)
+                  per_packet[count] = engine.markers_seen().size();
+              });
+          // Carry forward (coverage is monotone; fill any gaps).
+          for (std::size_t x = 1; x <= max_packets; ++x)
+            per_packet[x] = std::max(per_packet[x], per_packet[x - 1]);
+          return per_packet;
+        };
+    std::vector<std::vector<std::size_t>> per_run =
+        runner.run_all<std::vector<std::size_t>>(runs, one_run);
+    for (const std::vector<std::size_t>& per_packet : per_run)
       for (std::size_t x = 1; x <= max_packets; ++x)
         coverage[li][x] += static_cast<double>(per_packet[x]);
-    }
   }
 
   Table t({"packets(x)", "%nodes n=10", "%nodes n=20", "%nodes n=30"});

@@ -13,6 +13,7 @@
 
 #include "bench_util.h"
 #include "core/campaign.h"
+#include "net/campaign_runner.h"
 
 int main(int argc, char** argv) {
   using pnm::Table;
@@ -26,25 +27,37 @@ int main(int argc, char** argv) {
   t.set_title("Fig. 6 — runs (out of " + std::to_string(runs) +
               ") where the source is NOT unequivocally identified");
 
+  // Independent runs fan out across --jobs workers; tallies accumulate in
+  // run order, so the table is identical for any J.
+  pnm::net::CampaignRunner runner(args.jobs);
+  struct RunOutcome {
+    bool identified_at[4] = {false, false, false, false};
+    bool wrong_final = false;
+  };
   for (std::size_t n = 5; n <= 50; n += 5) {
-    std::size_t fails[4] = {0, 0, 0, 0};
-    std::size_t wrong_final = 0;
-    for (std::size_t r = 0; r < runs; ++r) {
+    std::function<RunOutcome(std::size_t)> one_run = [&](std::size_t r) {
       pnm::core::ChainExperimentConfig cfg;
       cfg.forwarders = n;
       cfg.packets = 800;
       cfg.seed = args.seed * 99991 + r * 31337 + n;
-      bool identified_at[4] = {false, false, false, false};
+      RunOutcome out;
       auto result = pnm::core::run_chain_experiment(
           cfg, [&](std::size_t count, const pnm::sink::TracebackEngine& engine) {
             for (int c = 0; c < 4; ++c)
               if (count == checkpoints[c])
-                identified_at[c] = engine.analysis().identified;
+                out.identified_at[c] = engine.analysis().identified;
           });
+      out.wrong_final =
+          result.final_analysis.identified && !result.correct_source_neighborhood;
+      return out;
+    };
+    std::vector<RunOutcome> outcomes = runner.run_all<RunOutcome>(runs, one_run);
+    std::size_t fails[4] = {0, 0, 0, 0};
+    std::size_t wrong_final = 0;
+    for (const RunOutcome& out : outcomes) {
       for (int c = 0; c < 4; ++c)
-        if (!identified_at[c]) ++fails[c];
-      if (result.final_analysis.identified && !result.correct_source_neighborhood)
-        ++wrong_final;
+        if (!out.identified_at[c]) ++fails[c];
+      if (out.wrong_final) ++wrong_final;
     }
     t.add_row({Table::num(n), Table::num(fails[0]), Table::num(fails[1]),
                Table::num(fails[2]), Table::num(fails[3]), Table::num(wrong_final)});

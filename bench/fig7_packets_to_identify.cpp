@@ -9,6 +9,7 @@
 #include "analysis/models.h"
 #include "bench_util.h"
 #include "core/campaign.h"
+#include "net/campaign_runner.h"
 #include "util/stats.h"
 
 int main(int argc, char** argv) {
@@ -22,17 +23,26 @@ int main(int argc, char** argv) {
   t.set_title("Fig. 7 — avg packets to unequivocally identify the source (800 pkts/run, " +
               std::to_string(runs) + " runs)");
 
+  // Fan independent runs across --jobs workers; samples are added in run
+  // order, so every statistic is identical for any J.
+  pnm::net::CampaignRunner runner(args.jobs);
   for (std::size_t n = 5; n <= 50; n += 5) {
-    pnm::SampleSet samples;
-    for (std::size_t r = 0; r < runs; ++r) {
+    std::function<std::optional<double>(std::size_t)> one_run =
+        [&](std::size_t r) -> std::optional<double> {
       pnm::core::ChainExperimentConfig cfg;
       cfg.forwarders = n;
       cfg.packets = 800;
       cfg.seed = args.seed * 7777777 + r * 104729 + n;
       auto result = pnm::core::run_chain_experiment(cfg);
       if (result.final_analysis.identified && result.packets_to_identify)
-        samples.add(static_cast<double>(*result.packets_to_identify));
-    }
+        return static_cast<double>(*result.packets_to_identify);
+      return std::nullopt;
+    };
+    std::vector<std::optional<double>> per_run =
+        runner.run_all<std::optional<double>>(runs, one_run);
+    pnm::SampleSet samples;
+    for (const std::optional<double>& s : per_run)
+      if (s) samples.add(*s);
     double p = 3.0 / static_cast<double>(n);
     t.add_row({Table::num(n), Table::num(samples.mean(), 1),
                Table::num(samples.median(), 1), Table::num(samples.percentile(0.9), 1),

@@ -18,6 +18,7 @@
 
 #include "bench_util.h"
 #include "core/campaign.h"
+#include "net/campaign_runner.h"
 
 namespace {
 
@@ -42,21 +43,33 @@ int main(int argc, char** argv) {
   t.set_title("Attack matrix — scheme vs colluding attack (n=" + std::to_string(n) +
               ", " + std::to_string(packets) + " packets)");
 
-  for (auto attack : pnm::attack::all_attack_kinds()) {
-    std::vector<std::string> row{std::string(pnm::attack::attack_kind_name(attack))};
-    for (auto scheme : pnm::marking::all_scheme_kinds()) {
-      pnm::core::ChainExperimentConfig cfg;
-      cfg.forwarders = n;
-      cfg.packets = packets;
-      cfg.protocol.scheme = scheme;
-      cfg.attack = attack;
-      cfg.seed = args.seed * 31 + static_cast<std::uint64_t>(attack) * 7 +
-                 static_cast<std::uint64_t>(scheme);
-      auto r = pnm::core::run_chain_experiment(cfg);
-      std::string cell = classify(r);
-      if (r.final_analysis.via_loop) cell += "*";
-      row.push_back(std::move(cell));
-    }
+  // Every (attack, scheme) cell is an independent experiment: fan them out
+  // over --jobs workers and assemble rows in index order — the rendered
+  // table is byte-identical for any J.
+  std::vector<pnm::attack::AttackKind> attacks = pnm::attack::all_attack_kinds();
+  std::vector<pnm::marking::SchemeKind> schemes = pnm::marking::all_scheme_kinds();
+  pnm::net::CampaignRunner runner(args.jobs);
+  std::function<std::string(std::size_t)> cell_fn = [&](std::size_t i) {
+    auto attack = attacks[i / schemes.size()];
+    auto scheme = schemes[i % schemes.size()];
+    pnm::core::ChainExperimentConfig cfg;
+    cfg.forwarders = n;
+    cfg.packets = packets;
+    cfg.protocol.scheme = scheme;
+    cfg.attack = attack;
+    cfg.seed = args.seed * 31 + static_cast<std::uint64_t>(attack) * 7 +
+               static_cast<std::uint64_t>(scheme);
+    auto r = pnm::core::run_chain_experiment(cfg);
+    std::string cell = classify(r);
+    if (r.final_analysis.via_loop) cell += "*";
+    return cell;
+  };
+  std::vector<std::string> cells =
+      runner.run_all<std::string>(attacks.size() * schemes.size(), cell_fn);
+  for (std::size_t a = 0; a < attacks.size(); ++a) {
+    std::vector<std::string> row{std::string(pnm::attack::attack_kind_name(attacks[a]))};
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+      row.push_back(std::move(cells[a * schemes.size() + s]));
     t.add_row(std::move(row));
   }
   pnm::bench::emit(t, args);

@@ -25,7 +25,17 @@ import argparse
 import json
 import sys
 
-DEFAULT_GATES = ["BM_ReplayPipeline", "BM_BatchVerify"]
+# BM_SimulatorEvents also matches BM_SimulatorEventsLegacy by prefix — that's
+# intentional: the legacy core stays in-tree as the measurement baseline, and
+# both floods share the scheduling/dispatch path outside the queue, so a
+# slowdown on either one is a real regression (neither is required to improve;
+# the gate only fires on new/old past the tolerance).
+DEFAULT_GATES = [
+    "BM_ReplayPipeline",
+    "BM_BatchVerify",
+    "BM_SimulatorEvents",
+    "BM_CampaignSweep",
+]
 
 
 def flatten(record):
@@ -142,13 +152,28 @@ def main():
             f"{'FAIL' if serve_failed else 'ok'}"
         )
 
-    verdict = "fail" if (regressed or serve_failed) else "pass"
+    # Event-core gate: a record carrying a "sim_event_core" section (BENCH_8+)
+    # must hold the calendar-queue core at or above its recorded speedup target
+    # over the retained legacy heap core — the ≥3x dispatch-rate win is part of
+    # the trajectory contract, same as the serve-plane ratio above.
+    sim_core = new_record.get("sim_event_core")
+    sim_core_failed = bool(sim_core) and not sim_core.get("meets_target", False)
+    if sim_core and "speedup" in sim_core:
+        print(
+            f"sim event core: {sim_core['speedup']:.3f}x over legacy heap "
+            f"(target {sim_core['target']}x) -> "
+            f"{'FAIL' if sim_core_failed else 'ok'}"
+        )
+    elif sim_core:
+        print("sim event core: section present but speedup missing -> FAIL")
+
+    verdict = "fail" if (regressed or serve_failed or sim_core_failed) else "pass"
     if args.out:
         with open(args.out, "w") as f:
             json.dump(
                 {"old": args.old, "new": args.new, "tolerance": args.tolerance,
-                 "gates": gates, "serve": serve_vs, "verdict": verdict,
-                 "rows": rows},
+                 "gates": gates, "serve": serve_vs, "sim_event_core": sim_core,
+                 "verdict": verdict, "rows": rows},
                 f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"wrote {args.out}")
@@ -171,6 +196,13 @@ def main():
         print(
             f"\nFAIL: serve loadgen at {serve_vs['ratio']:.3f}x of "
             f"{serve_vs['benchmark']} (target {serve_vs['target']}x)",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    if sim_core_failed:
+        print(
+            f"\nFAIL: sim event core at {sim_core.get('speedup', '?')}x over "
+            f"legacy heap (target {sim_core.get('target', '?')}x)",
             file=sys.stderr,
         )
         raise SystemExit(1)

@@ -11,7 +11,10 @@ point at that step — the suite legitimately grows over time.
 
 If a record carries a "serve" section (BENCH_7+), a final panel charts the
 loadgen-vs-BM_ReplayPipeline throughput ratio against its recorded target
-line.
+line. Likewise a "sim_event_core" section (BENCH_8+) gets a panel charting
+the calendar-queue-vs-legacy-heap event dispatch speedup against its target.
+The sim_core suite records only the "auto" series (its hot loop is
+SHA-agnostic), so its panels chart a single line.
 
 The output is deliberately dependency-free, hand-assembled SVG: CI uploads
 it as an artifact next to the compare report, and it renders in any browser
@@ -29,10 +32,20 @@ import os
 import re
 import sys
 
-DEFAULT_GATES = ["BM_ReplayPipeline", "BM_BatchVerify"]
+DEFAULT_GATES = [
+    "BM_ReplayPipeline",
+    "BM_BatchVerify",
+    "BM_SimulatorEvents",
+    "BM_CampaignSweep",
+]
 
 # One color per series; panels reuse them.
-SERIES_COLORS = {"auto": "#1f77b4", "scalar": "#d62728", "serve": "#2ca02c"}
+SERIES_COLORS = {
+    "auto": "#1f77b4",
+    "scalar": "#d62728",
+    "serve": "#2ca02c",
+    "sim": "#9467bd",
+}
 
 PANEL_W = 720
 PANEL_H = 150
@@ -86,6 +99,15 @@ def serve_points(records):
         vs = record.get("serve", {}).get("vs_replay_pipeline")
         if vs and vs.get("ratio") is not None:
             points.append((i, float(vs["ratio"])))
+    return points
+
+
+def sim_core_points(records):
+    points = []
+    for i, (_, record) in enumerate(records):
+        sec = record.get("sim_event_core")
+        if sec and sec.get("speedup") is not None:
+            points.append((i, float(sec["speedup"])))
     return points
 
 
@@ -251,6 +273,24 @@ def main():
             y_floor=0.0,
         )
         panel.add_series("serve", SERIES_COLORS["serve"], serve)
+        if latest_target is not None:
+            panel.add_hline(latest_target, f"target {latest_target}x", "#999999")
+        panels.append(panel)
+
+    sim = sim_core_points(records)
+    if sim:
+        latest_target = None
+        for _, record in records:
+            sec = record.get("sim_event_core")
+            if sec and sec.get("target") is not None:
+                latest_target = float(sec["target"])
+        panel = Panel(
+            "simulator event core speedup over legacy heap",
+            lambda v: f"{v:.2f}x",
+            versions,
+            y_floor=0.0,
+        )
+        panel.add_series("sim", SERIES_COLORS["sim"], sim)
         if latest_target is not None:
             panel.add_hline(latest_target, f"target {latest_target}x", "#999999")
         panels.append(panel)

@@ -6,7 +6,9 @@
 #      and require every per-stream digest receipt to equal the committed
 #      `pnm replay` golden for that trace — the serve determinism contract;
 #   3. scrape /metrics through scripts/check_prom.py (exposition lint) and
-#      check the serve-plane series are present;
+#      check the serve-plane series are present, then scrape /spans and
+#      require valid Chrome trace-event JSON with verify-path spans (the
+#      daemon runs with --span-trace so collection is live);
 #   4. /rekey to epoch 1, then stream one more session and require the sink
 #      to acknowledge every record under the new keys (zero drops);
 #   5. /drain and require the final report to account for every record of
@@ -47,6 +49,7 @@ done
 # --- 1. daemon up -----------------------------------------------------------
 "$pnm_bin" serve --campaign "$corpus_dir/${traces[0]}.pnmtrace" \
   --shards 2 --port-file "$workdir/ports.txt" \
+  --span-trace "$workdir/spans.json" \
   > "$workdir/serve.log" 2>&1 &
 daemon_pid=$!
 
@@ -98,6 +101,20 @@ for series in pnm_serve_sessions_total pnm_serve_records_total \
     || { echo "error: /metrics missing $series" >&2; exit 1; }
 done
 echo "metrics scrape ok ($(wc -l < "$workdir/metrics.prom") lines)"
+
+# --- 3b. /spans: live span ring as Chrome trace-event JSON -------------------
+admin /spans > "$workdir/spans_live.json"
+python3 - "$workdir/spans_live.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "span ring empty despite --span-trace + ingest traffic"
+names = {e["name"] for e in events}
+assert "verify_batch" in names, f"no verify-path spans in {sorted(names)}"
+for e in events:
+    assert e["ph"] == "X" and e["dur"] >= 0, e
+print(f"/spans ok: {len(events)} events, {len(names)} distinct scopes")
+EOF
 
 # --- 4. live rekey, then a full session under the new epoch -----------------
 rekey_json="$(admin /rekey)"

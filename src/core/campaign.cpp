@@ -114,6 +114,10 @@ ChainExperimentResult run_chain_experiment(const ChainExperimentConfig& cfg,
       out.final_analysis.identified && out.final_analysis.stop_node == out.v1;
   out.sim_duration_s = sim.now();
   out.total_energy_uj = sim.energy().total_energy_uj();
+  out.packets_dropped_links = sim.packets_dropped_by_links();
+  out.packets_dropped_nodes = sim.packets_dropped_by_nodes();
+  out.packets_dropped_queues = sim.packets_dropped_by_queues();
+  out.packets_dropped_isolated = sim.packets_dropped_isolated();
   if (recorder) {
     recorder->flush();
     out.records_recorded = recorder->records_written();

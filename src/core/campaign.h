@@ -57,6 +57,12 @@ struct ChainExperimentResult {
   double sim_duration_s = 0.0;
   double total_energy_uj = 0.0;
   std::size_t records_recorded = 0;  ///< trace records written (record_path set)
+  // Radio-layer loss accounting, copied out of the simulator so scenario
+  // digests cover the full packet ledger, not just deliveries.
+  std::size_t packets_dropped_links = 0;
+  std::size_t packets_dropped_nodes = 0;
+  std::size_t packets_dropped_queues = 0;
+  std::size_t packets_dropped_isolated = 0;
 };
 
 /// Master secret every campaign derives its KeyStore from; exposed so a

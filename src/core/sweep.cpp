@@ -1,0 +1,135 @@
+#include "core/sweep.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "crypto/sha256.h"
+#include "net/campaign_runner.h"
+#include "util/bytes.h"
+
+namespace pnm::core {
+
+namespace {
+
+void put_f64(ByteWriter& w, double v) { w.u64(std::bit_cast<std::uint64_t>(v)); }
+
+void put_nodes(ByteWriter& w, const std::vector<NodeId>& nodes) {
+  w.u32(static_cast<std::uint32_t>(nodes.size()));
+  for (NodeId n : nodes) w.u16(n);
+}
+
+}  // namespace
+
+std::string digest_result(const ChainExperimentResult& r) {
+  ByteWriter w;
+  w.u64(r.packets_injected);
+  w.u64(r.packets_delivered);
+  w.u8(r.final_analysis.identified ? 1 : 0);
+  w.u8(r.final_analysis.via_loop ? 1 : 0);
+  w.u16(r.final_analysis.stop_node);
+  put_nodes(w, r.final_analysis.suspects);
+  put_nodes(w, r.final_analysis.minimal_candidates);
+  put_nodes(w, r.final_analysis.loop);
+  w.u8(r.packets_to_identify.has_value() ? 1 : 0);
+  w.u64(r.packets_to_identify.value_or(0));
+  w.u32(static_cast<std::uint32_t>(r.markers_seen.size()));
+  for (NodeId n : r.markers_seen) w.u16(n);  // std::set: already sorted
+  w.u64(r.marks_verified);
+  w.u8(r.mole_in_suspects ? 1 : 0);
+  w.u8(r.correct_source_neighborhood ? 1 : 0);
+  w.u16(r.v1);
+  put_nodes(w, r.moles);
+  put_f64(w, r.sim_duration_s);
+  put_f64(w, r.total_energy_uj);
+  w.u64(r.records_recorded);
+  w.u64(r.packets_dropped_links);
+  w.u64(r.packets_dropped_nodes);
+  w.u64(r.packets_dropped_queues);
+  w.u64(r.packets_dropped_isolated);
+  Bytes buf = std::move(w).take();
+  crypto::Sha256Digest d = crypto::Sha256::hash(ByteView(buf.data(), buf.size()));
+  return to_hex(ByteView(d.data(), d.size()));
+}
+
+std::uint64_t sweep_cell_seed(std::uint64_t base_seed, std::size_t attack_index,
+                              std::size_t run_index) {
+  return base_seed * 1000003ULL + attack_index * 7919ULL + run_index;
+}
+
+SweepResult run_sweep(const SweepConfig& cfg) {
+  std::vector<attack::AttackKind> attacks =
+      cfg.attacks.empty() ? attack::all_attack_kinds() : cfg.attacks;
+  const std::size_t cells = attacks.size() * cfg.runs;
+
+  net::CampaignRunner runner(cfg.jobs);
+  std::function<SweepRow(std::size_t)> cell = [&](std::size_t i) {
+    const std::size_t a = i / cfg.runs;
+    const std::size_t r = i % cfg.runs;
+    ChainExperimentConfig ecfg;
+    ecfg.forwarders = cfg.forwarders;
+    ecfg.protocol = cfg.protocol;
+    ecfg.attack = attacks[a];
+    ecfg.packets = cfg.packets;
+    ecfg.injection_interval_s = cfg.injection_interval_s;
+    ecfg.link_loss = cfg.link_loss;
+    ecfg.seed = sweep_cell_seed(cfg.seed, a, r);
+    SweepRow row;
+    row.attack = ecfg.attack;
+    row.seed = ecfg.seed;
+    row.result = run_chain_experiment(ecfg);
+    row.digest = digest_result(row.result);
+    return row;
+  };
+
+  SweepResult out;
+  out.rows = runner.run_all<SweepRow>(cells, cell);
+
+  ByteWriter chain;
+  for (const SweepRow& row : out.rows) {
+    chain.u8(static_cast<std::uint8_t>(row.attack));
+    chain.u64(row.seed);
+    chain.raw(ByteView(reinterpret_cast<const std::uint8_t*>(row.digest.data()),
+                       row.digest.size()));
+  }
+  Bytes buf = std::move(chain).take();
+  crypto::Sha256Digest d = crypto::Sha256::hash(ByteView(buf.data(), buf.size()));
+  out.sweep_digest = to_hex(ByteView(d.data(), d.size()));
+  return out;
+}
+
+std::string format_sweep(const SweepConfig& cfg, const SweepResult& result) {
+  std::string out;
+  char line[512];
+  std::snprintf(line, sizeof(line),
+                "# sweep forwarders=%zu packets=%zu runs=%zu seed=%llu "
+                "scheme=%s link_loss=%.17g\n",
+                cfg.forwarders, cfg.packets, cfg.runs,
+                static_cast<unsigned long long>(cfg.seed),
+                std::string(marking::scheme_kind_name(cfg.protocol.scheme)).c_str(),
+                cfg.link_loss);
+  out += line;
+  out += "attack,seed,injected,delivered,identified,stop_node,mole_in_suspects,"
+         "dropped_links,dropped_nodes,dropped_queues,dropped_isolated,"
+         "energy_uj,digest\n";
+  for (const SweepRow& row : result.rows) {
+    std::snprintf(line, sizeof(line),
+                  "%s,%llu,%zu,%zu,%d,%d,%d,%zu,%zu,%zu,%zu,%.17g,%s\n",
+                  std::string(attack::attack_kind_name(row.attack)).c_str(),
+                  static_cast<unsigned long long>(row.seed),
+                  row.result.packets_injected, row.result.packets_delivered,
+                  row.result.final_analysis.identified ? 1 : 0,
+                  row.result.final_analysis.identified
+                      ? static_cast<int>(row.result.final_analysis.stop_node)
+                      : -1,
+                  row.result.mole_in_suspects ? 1 : 0,
+                  row.result.packets_dropped_links, row.result.packets_dropped_nodes,
+                  row.result.packets_dropped_queues,
+                  row.result.packets_dropped_isolated, row.result.total_energy_uj,
+                  row.digest.c_str());
+    out += line;
+  }
+  out += "sweep_digest=" + result.sweep_digest + "\n";
+  return out;
+}
+
+}  // namespace pnm::core

@@ -1,0 +1,63 @@
+// Deterministic campaign sweeps: the cross product of attack scenarios and
+// seeds, run through net::CampaignRunner so independent chain experiments
+// fan out across worker threads while the output stays byte-identical for
+// any --jobs value.
+//
+// Each (attack, run) cell derives its seed from the base seed by a fixed
+// formula, executes one run_chain_experiment in full isolation, and is
+// reduced to a scenario digest: a SHA-256 over a canonical little-endian
+// serialization of every observable the experiment produces (packet ledger
+// including per-cause drop counts, verdict analysis, energy, timing). Rows
+// aggregate in (attack, run) index order, and the sweep digest chains the
+// row digests, so two sweeps agree iff every run agreed bit for bit — the
+// equivalence oracle for the event-core rewrite and the --jobs matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attack/colluding.h"
+#include "core/campaign.h"
+
+namespace pnm::core {
+
+/// Canonical SHA-256 (hex) over every field of a chain-experiment result.
+/// Doubles are hashed by bit pattern, so this is equality, not tolerance.
+std::string digest_result(const ChainExperimentResult& result);
+
+struct SweepConfig {
+  std::size_t forwarders = 10;
+  std::size_t packets = 100;
+  PnmConfig protocol;
+  /// Scenario axis; empty = attack::all_attack_kinds().
+  std::vector<attack::AttackKind> attacks;
+  std::size_t runs = 3;    ///< seeds per attack
+  std::uint64_t seed = 1;  ///< base seed each cell derives from
+  double link_loss = 0.0;
+  double injection_interval_s = 1.0 / 30.0;
+  std::size_t jobs = 1;  ///< worker threads (0 = hardware concurrency)
+};
+
+struct SweepRow {
+  attack::AttackKind attack;
+  std::uint64_t seed = 0;  ///< the derived per-cell seed
+  ChainExperimentResult result;
+  std::string digest;  ///< digest_result(result)
+};
+
+struct SweepResult {
+  std::vector<SweepRow> rows;  ///< (attack, run) order, independent of jobs
+  std::string sweep_digest;    ///< SHA-256 chaining all row digests, hex
+};
+
+/// The per-cell seed formula (exposed so tests can pin individual cells).
+std::uint64_t sweep_cell_seed(std::uint64_t base_seed, std::size_t attack_index,
+                              std::size_t run_index);
+
+SweepResult run_sweep(const SweepConfig& cfg);
+
+/// Canonical text rendering (one line per row + trailing sweep digest) —
+/// what `pnm sweep` prints and the --jobs determinism tests byte-compare.
+std::string format_sweep(const SweepConfig& cfg, const SweepResult& result);
+
+}  // namespace pnm::core

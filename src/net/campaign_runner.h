@@ -1,0 +1,58 @@
+// Deterministic parallel map over independent simulator runs.
+//
+// A campaign is a list of fully-specified jobs (each owning its seed,
+// topology and handlers through its own Simulator), so runs never share
+// mutable state and can execute on any worker in any order. Determinism is
+// recovered at the aggregation edge: results land in a vector indexed by
+// job position, so iterating the results afterwards always visits them in
+// submission order regardless of worker count or completion interleaving —
+// the same index-ordered-merge argument as ingest's TracebackMerger.
+//
+// jobs <= 1 runs inline on the calling thread (no pool, no futures), which
+// keeps single-job callers allocation- and thread-free and gives the
+// `--jobs 1` reference output the parallel paths must reproduce byte for
+// byte.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace pnm::net {
+
+class CampaignRunner {
+ public:
+  /// jobs: worker threads for run_all (0 = hardware concurrency, 1 = inline).
+  explicit CampaignRunner(std::size_t jobs) : jobs_(jobs) {}
+
+  std::size_t jobs() const { return jobs_; }
+
+  /// Runs fn(i) for i in [0, count) and returns the results in index order.
+  /// fn must be safe to invoke concurrently for distinct i (each call should
+  /// own its entire simulation world). Exceptions propagate from the first
+  /// failing index.
+  template <typename R>
+  std::vector<R> run_all(std::size_t count,
+                         const std::function<R(std::size_t)>& fn) const {
+    std::vector<R> results(count);
+    if (jobs_ == 1 || count <= 1) {
+      for (std::size_t i = 0; i < count; ++i) results[i] = fn(i);
+      return results;
+    }
+    util::ThreadPool pool(jobs_);
+    std::vector<std::future<void>> futs;
+    futs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+      futs.push_back(pool.submit([&, i] { results[i] = fn(i); }));
+    for (auto& f : futs) f.get();  // rethrows in index order
+    return results;
+  }
+
+ private:
+  std::size_t jobs_;
+};
+
+}  // namespace pnm::net

@@ -1,0 +1,62 @@
+#include "net/event_queue.h"
+
+#include <cmath>
+
+namespace pnm::net {
+
+void CalendarQueue::refill_bottom() {
+  // Precondition: bottom_ is empty, size_ > 0.
+  for (;;) {
+    while (cur_slot_ < kBuckets) {
+      std::vector<EventRef>& slot = buckets_[cur_slot_];
+      ++cur_slot_;
+      bottom_hi_ =
+          cur_slot_ >= kBuckets ? span_hi_ : span_lo_ + cur_slot_ * width_;
+      if (!slot.empty()) {
+        bottom_.swap(slot);  // capacities circulate between tiers
+        std::sort(bottom_.begin(), bottom_.end(), later);
+        return;
+      }
+    }
+    respan();
+  }
+}
+
+void CalendarQueue::respan() {
+  // Calendar exhausted: rebuild the span around overflow_'s actual time
+  // range so the bucket width adapts to event density.
+  assert(!overflow_.empty());
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const EventRef& ev : overflow_) {
+    lo = std::min(lo, ev.time);
+    hi = std::max(hi, ev.time);
+  }
+  double w = (hi - lo) / static_cast<double>(kBuckets - 1);
+  // Strictly positive width floor (absolute + relative) so span_hi_ > lo and
+  // at least the earliest overflow events always land in the new calendar —
+  // degenerate same-time clusters collapse into bucket 0.
+  double min_w = std::max(
+      1e-12, std::abs(lo) * 4.0 * std::numeric_limits<double>::epsilon());
+  if (!(w > min_w)) w = min_w;
+  span_lo_ = lo;
+  width_ = w;
+  span_hi_ = lo + static_cast<double>(kBuckets) * w;
+  if (!(span_hi_ > lo)) span_hi_ = std::numeric_limits<double>::infinity();
+  cur_slot_ = 0;
+  bottom_hi_ = span_lo_;
+
+  std::vector<EventRef> keep;
+  for (const EventRef& ev : overflow_) {
+    if (ev.time < span_hi_) {
+      std::size_t idx = static_cast<std::size_t>((ev.time - span_lo_) / width_);
+      if (idx >= kBuckets) idx = kBuckets - 1;
+      buckets_[idx].push_back(ev);
+    } else {
+      keep.push_back(ev);
+    }
+  }
+  overflow_.swap(keep);
+}
+
+}  // namespace pnm::net

@@ -1,6 +1,8 @@
 #include "net/simulator.h"
 
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 #include "obs/metrics.h"
 #include "util/log.h"
@@ -18,6 +20,15 @@ obs::Counter& sim_lost_counter() {
   static obs::Counter& c = obs::MetricsRegistry::global().counter("sim_packets_lost");
   return c;
 }
+
+EventCoreImpl default_event_core() {
+  static EventCoreImpl impl = [] {
+    const char* env = std::getenv("PNM_SIM_EVENT_CORE");
+    return (env && std::strcmp(env, "legacy") == 0) ? EventCoreImpl::kLegacyHeap
+                                                    : EventCoreImpl::kCalendar;
+  }();
+  return impl;
+}
 }  // namespace
 
 Simulator::Simulator(const Topology& topo, const RoutingTable& routing, LinkModel link,
@@ -27,10 +38,16 @@ Simulator::Simulator(const Topology& topo, const RoutingTable& routing, LinkMode
       link_(link),
       energy_(topo.node_count(), energy),
       rng_(seed),
+      impl_(default_event_core()),
       handlers_(topo.node_count()),
       isolated_(topo.node_count(), false),
       txq_(topo.node_count()),
       busy_until_(topo.node_count(), 0.0) {}
+
+void Simulator::set_event_core(EventCoreImpl impl) {
+  assert(calq_.empty() && queue_.empty() && next_order_ == 0);
+  impl_ = impl;
+}
 
 void Simulator::set_node_handler(NodeId id, NodeHandler handler) {
   handlers_.at(id) = std::move(handler);
@@ -38,11 +55,58 @@ void Simulator::set_node_handler(NodeId id, NodeHandler handler) {
 
 void Simulator::clear_node_handler(NodeId id) { handlers_.at(id) = nullptr; }
 
-void Simulator::isolate(NodeId id) { isolated_.at(id) = true; }
+void Simulator::isolate(NodeId id) {
+  isolated_.at(id) = true;
+  // The node's radio goes silent immediately: whatever it had queued for
+  // transmission is discarded (and counted), never sent. Without this the
+  // backlog of a just-isolated mole would still leak onto the air.
+  std::queue<PendingTx>& q = txq_[id];
+  packets_isolated_dropped_ += q.size();
+  while (!q.empty()) q.pop();
+}
 
 void Simulator::schedule(double delay_s, std::function<void()> fn) {
   assert(delay_s >= 0.0);
-  queue_.push(Event{now_ + delay_s, next_order_++, std::move(fn)});
+  if (impl_ == EventCoreImpl::kLegacyHeap) {
+    queue_.push(Event{now_ + delay_s, next_order_++, std::move(fn)});
+    return;
+  }
+  std::uint32_t slot = arena_.alloc();
+  SimEventNode& node = arena_[slot];
+  node.kind = SimEventKind::kCall;
+  node.fn = std::move(fn);
+  calq_.push(now_ + delay_s, next_order_++, slot);
+}
+
+void Simulator::schedule_pump(double delay_s, NodeId from) {
+  if (impl_ == EventCoreImpl::kLegacyHeap) {
+    queue_.push(Event{now_ + delay_s, next_order_++,
+                      [this, from]() { pump_tx(from); }});
+    return;
+  }
+  std::uint32_t slot = arena_.alloc();
+  SimEventNode& node = arena_[slot];
+  node.kind = SimEventKind::kPumpTx;
+  node.a = from;
+  calq_.push(now_ + delay_s, next_order_++, slot);
+}
+
+void Simulator::schedule_arrive(double delay_s, NodeId at, NodeId from,
+                                Packet packet) {
+  if (impl_ == EventCoreImpl::kLegacyHeap) {
+    queue_.push(Event{now_ + delay_s, next_order_++,
+                      [this, at, from, p = std::move(packet)]() mutable {
+                        arrive(at, from, std::move(p));
+                      }});
+    return;
+  }
+  std::uint32_t slot = arena_.alloc();
+  SimEventNode& node = arena_[slot];
+  node.kind = SimEventKind::kArrive;
+  node.a = at;
+  node.b = from;
+  node.packet = std::move(packet);
+  calq_.push(now_ + delay_s, next_order_++, slot);
 }
 
 void Simulator::inject(NodeId origin, Packet packet) {
@@ -66,8 +130,9 @@ void Simulator::transmit(NodeId from, NodeId to, Packet packet) {
 }
 
 void Simulator::pump_tx(NodeId from) {
-  // The radio serializes: one transmission at a time per node.
-  if (txq_[from].empty() || now_ < busy_until_[from]) return;
+  // The radio serializes: one transmission at a time per node. An isolated
+  // node's queue was drained at isolate() time; stay silent regardless.
+  if (isolated_[from] || txq_[from].empty() || now_ < busy_until_[from]) return;
 
   PendingTx tx = std::move(txq_[from].front());
   txq_[from].pop();
@@ -76,21 +141,21 @@ void Simulator::pump_tx(NodeId from) {
   double tx_time = link_.tx_time_s(bytes);
   double latency = link_.hop_latency_s(bytes);
   busy_until_[from] = now_ + tx_time;
-  schedule(tx_time, [this, from]() { pump_tx(from); });
+  schedule_pump(tx_time, from);
 
   if (!link_.delivers(rng_)) {
     ++packets_lost_;
     sim_lost_counter().add();
     return;
   }
-  NodeId to = tx.to;
-  schedule(latency, [this, from, to, p = std::move(tx.packet)]() mutable {
-    arrive(to, from, std::move(p));
-  });
+  schedule_arrive(latency, tx.to, from, std::move(tx.packet));
 }
 
 void Simulator::arrive(NodeId at, NodeId from, Packet packet) {
-  if (isolated_.at(at)) return;
+  if (isolated_.at(at)) {
+    ++packets_isolated_dropped_;
+    return;
+  }
   energy_.on_receive(at, packet.wire_size());
   packet.arrived_from = from;
 
@@ -125,6 +190,48 @@ void Simulator::arrive(NodeId at, NodeId from, Packet packet) {
 }
 
 bool Simulator::run(std::size_t max_events) {
+  if (impl_ == EventCoreImpl::kLegacyHeap) return run_legacy(max_events);
+  std::size_t processed = 0;
+  while (!calq_.empty()) {
+    if (processed++ >= max_events) {
+      PNM_ERROR << "simulator: event budget exhausted (" << max_events << ")";
+      return false;
+    }
+    EventRef ref = calq_.pop();
+    assert(ref.time + 1e-12 >= now_);
+    now_ = ref.time;
+    ++events_processed_;
+    // Move the payload out and recycle the slot BEFORE dispatching: the
+    // handler will schedule new events, which may grow the arena slab and
+    // invalidate `node`.
+    SimEventNode& node = arena_[ref.slot];
+    SimEventKind kind = node.kind;
+    NodeId a = node.a;
+    NodeId b = node.b;
+    Packet packet;
+    std::function<void()> fn;
+    if (kind == SimEventKind::kArrive) {
+      packet = std::move(node.packet);
+    } else if (kind == SimEventKind::kCall) {
+      fn = std::move(node.fn);
+    }
+    arena_.release(ref.slot);
+    switch (kind) {
+      case SimEventKind::kPumpTx:
+        pump_tx(a);
+        break;
+      case SimEventKind::kArrive:
+        arrive(a, b, std::move(packet));
+        break;
+      case SimEventKind::kCall:
+        fn();
+        break;
+    }
+  }
+  return true;
+}
+
+bool Simulator::run_legacy(std::size_t max_events) {
   std::size_t processed = 0;
   while (!queue_.empty()) {
     if (processed++ >= max_events) {
@@ -137,6 +244,7 @@ bool Simulator::run(std::size_t max_events) {
     queue_.pop();
     assert(ev.time + 1e-12 >= now_);
     now_ = ev.time;
+    ++events_processed_;
     ev.fn();
   }
   return true;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/span.h"
 #include "serve/server.h"
 
 namespace pnm::serve {
@@ -80,6 +81,13 @@ void AdminServer::handle(Socket sock) {
   } else if (path == "/metrics") {
     response = http_response(200, "OK", server_.metrics_prometheus(),
                              "text/plain; version=0.0.4; charset=utf-8");
+  } else if (path == "/spans") {
+    // The span ring as Chrome trace-event JSON — loadable straight into
+    // Perfetto. Collection is opt-in (--span-trace / enable()); when it is
+    // off the ring is empty and this returns an empty traceEvents array.
+    response = http_response(200, "OK",
+                             obs::SpanCollector::global().chrome_trace_json(),
+                             "application/json");
   } else if (path == "/drain") {
     response = http_response(200, "OK", drain_json(server_.drain()) + "\n",
                              "application/json");

@@ -5,6 +5,9 @@
 //
 //   GET /healthz   → 200 "ok" while accepting, 503 once drained
 //   GET /metrics   → Prometheus text exposition of the daemon's registry
+//   GET /spans     → the process span ring as Chrome trace-event JSON
+//                    (empty unless span collection was enabled, e.g. the
+//                    daemon was started with --span-trace)
 //   POST /drain    → stop accepting, flush shards, respond with the final
 //                    record count + global verdict digest (idempotent; also
 //                    unblocks Server::wait())

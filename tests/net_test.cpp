@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 
 #include "net/energy.h"
 #include "net/link.h"
@@ -241,10 +242,11 @@ class SimulatorTest : public ::testing::Test {
         routing_(topo_, RoutingStrategy::kTree),
         sim_(topo_, routing_, LinkModel{}, EnergyModel{}, 1234) {}
 
-  Packet make_packet() {
+  Packet make_packet(std::uint32_t seq = 0) {
     Packet p;
     p.report = Report{1, 2, 3, 4}.encode();
     p.true_source = 5;
+    p.seq = seq;
     return p;
   }
 
@@ -333,6 +335,41 @@ TEST_F(SimulatorTest, IsolatedOriginCannotInject) {
   sim_.inject(5, make_packet());
   sim_.run();
   EXPECT_EQ(delivered, 0u);
+}
+
+TEST_F(SimulatorTest, ArrivalAtIsolatedNodeIsCountedDropped) {
+  sim_.isolate(3);
+  sim_.inject(5, make_packet());
+  sim_.run();
+  // The packet crossed 5→4, then died on arrival at the isolated node 3.
+  EXPECT_EQ(sim_.packets_delivered(), 0u);
+  EXPECT_EQ(sim_.packets_dropped_isolated(), 1u);
+  EXPECT_EQ(sim_.packets_dropped_by_nodes(), 0u);
+}
+
+TEST_F(SimulatorTest, IsolationDrainsQueuedTransmissions) {
+  // Three back-to-back injections: the radio serializes, so the first is on
+  // the air immediately and two sit in node 5's transmit queue. Isolating 5
+  // must discard the backlog — the regression here was that pump_tx never
+  // checked isolated_, so a caught mole's queued packets still leaked out.
+  sim_.inject(5, make_packet(1));
+  sim_.inject(5, make_packet(2));
+  sim_.inject(5, make_packet(3));
+  sim_.isolate(5);
+  EXPECT_EQ(sim_.packets_dropped_isolated(), 2u);
+  sim_.run();
+  // Only the in-flight packet completes the trip.
+  EXPECT_EQ(sim_.packets_delivered(), 1u);
+  EXPECT_EQ(sim_.packets_dropped_isolated(), 2u);
+}
+
+TEST_F(SimulatorTest, MidRunIsolationSilencesBacklog) {
+  for (std::uint32_t s = 0; s < 4; ++s) sim_.inject(5, make_packet(s));
+  // Cut node 5 off while its backlog is still serializing.
+  sim_.schedule(0.0, [&] { sim_.isolate(5); });
+  sim_.run();
+  EXPECT_EQ(sim_.packets_delivered(), 1u);
+  EXPECT_EQ(sim_.packets_dropped_isolated(), 3u);
 }
 
 TEST_F(SimulatorTest, ScheduledCallbacksFireInOrder) {
@@ -429,6 +466,82 @@ TEST(SimulatorLoss, LossyLinksDropSomePackets) {
   EXPECT_LT(delivered, 150u);
   EXPECT_GT(sim.packets_dropped_by_links(), 0u);
   EXPECT_EQ(delivered + sim.packets_dropped_by_links(), 200u);
+}
+
+// Differential check of the two event cores: same lossy flood, identical
+// stats, energy and clock — the in-binary version of the scenario-digest
+// golden equivalence.
+TEST(SimulatorEventCore, LegacyAndCalendarCoresAgree) {
+  auto flood = [](EventCoreImpl impl) {
+    Topology topo = Topology::chain(12);
+    RoutingTable routing(topo, RoutingStrategy::kTree);
+    LinkModel link;
+    link.loss_probability = 0.07;
+    Simulator sim(topo, routing, link, EnergyModel{}, 20260809);
+    sim.set_event_core(impl);
+    std::vector<double> delivery_times;
+    sim.set_sink_handler(
+        [&](Packet&&, double t) { delivery_times.push_back(t); });
+    for (int i = 0; i < 150; ++i) {
+      sim.schedule(0.01 * i, [&sim, i] {
+        Packet p;
+        p.report = Report{static_cast<std::uint32_t>(i), 0, 0, 0}.encode();
+        p.true_source = 13;
+        sim.inject(13, std::move(p));
+      });
+    }
+    EXPECT_TRUE(sim.run());
+    return std::tuple(sim.packets_delivered(), sim.packets_dropped_by_links(),
+                      sim.energy().total_energy_uj(), sim.now(),
+                      delivery_times);
+  };
+  EXPECT_EQ(flood(EventCoreImpl::kLegacyHeap), flood(EventCoreImpl::kCalendar));
+}
+
+// Calendar-queue stress: a deterministic scatter of callback times (dense
+// clusters, far outliers, exact ties) spanning many re-spans must dispatch
+// in exact (time, FIFO-order) order.
+TEST(SimulatorEventCore, CalendarQueueOrdersScatteredTimes) {
+  Topology topo = Topology::chain(2);
+  RoutingTable routing(topo, RoutingStrategy::kTree);
+  Simulator sim(topo, routing, LinkModel{}, EnergyModel{}, 1);
+  struct Fired {
+    double time;
+    int id;
+  };
+  std::vector<Fired> fired;
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  int id = 0;
+  std::vector<std::pair<double, int>> expected;
+  auto add = [&](double t) {
+    expected.push_back({t, id});
+    int captured = id++;
+    sim.schedule(t, [&fired, &sim, captured] {
+      fired.push_back({sim.now(), captured});
+    });
+  };
+  for (int i = 0; i < 3000; ++i) {
+    switch (next() % 4) {
+      case 0: add(static_cast<double>(next() % 1000) / 997.0); break;
+      case 1: add(1.0 + static_cast<double>(next() % 64) / 1e6); break;
+      case 2: add(5000.0 + static_cast<double>(next() % 7)); break;
+      default: add(static_cast<double>(next() % 10)); break;  // heavy ties
+    }
+  }
+  ASSERT_TRUE(sim.run());
+  ASSERT_EQ(fired.size(), expected.size());
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_EQ(fired[i].time, expected[i].first) << "event " << i;
+    EXPECT_EQ(fired[i].id, expected[i].second) << "event " << i;
+  }
 }
 
 }  // namespace

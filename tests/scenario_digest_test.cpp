@@ -1,0 +1,109 @@
+// Event-core equivalence oracle: every attack scenario, run at small scale,
+// must reproduce the committed scenario digests bit for bit. The goldens
+// were generated before the typed-event/calendar-queue rewrite of the
+// simulator core, so any drift in event ordering, RNG consumption, energy
+// accounting or verdict analysis fails here first.
+//
+// Regenerate (only when a change is *supposed* to alter results) with:
+//   PNM_UPDATE_GOLDENS=1 ./scenario_digest_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "attack/colluding.h"
+#include "core/sweep.h"
+
+namespace pnm {
+namespace {
+
+constexpr const char* kGoldenPath = PNM_GOLDEN_DIR "/scenario_digests.golden";
+
+struct Cell {
+  std::string key;
+  std::string digest;
+};
+
+// The full scenario matrix: every attack kind on a clean channel plus a
+// lossy channel (exercising the link-loss RNG draw on every hop), and one
+// sweep aggregate pinning the (attack × seed) fan-out and digest chaining.
+std::vector<Cell> compute_cells() {
+  std::vector<Cell> cells;
+  for (const char* suite : {"clean", "lossy"}) {
+    const bool lossy = std::string(suite) == "lossy";
+    for (attack::AttackKind kind : attack::all_attack_kinds()) {
+      core::ChainExperimentConfig cfg;
+      cfg.forwarders = 6;
+      cfg.attack = kind;
+      cfg.packets = 60;
+      cfg.link_loss = lossy ? 0.05 : 0.0;
+      cfg.seed = 424242;
+      core::ChainExperimentResult r = core::run_chain_experiment(cfg);
+      cells.push_back({std::string(suite) + ":" +
+                           std::string(attack::attack_kind_name(kind)),
+                       core::digest_result(r)});
+    }
+  }
+  core::SweepConfig sweep;
+  sweep.forwarders = 5;
+  sweep.packets = 40;
+  sweep.runs = 2;
+  sweep.seed = 7;
+  sweep.jobs = 1;
+  cells.push_back({"sweep:all", core::run_sweep(sweep).sweep_digest});
+  return cells;
+}
+
+std::map<std::string, std::string> load_goldens() {
+  std::map<std::string, std::string> out;
+  std::ifstream in(kGoldenPath);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    out[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return out;
+}
+
+TEST(ScenarioDigestTest, MatchesCommittedGoldens) {
+  std::vector<Cell> cells = compute_cells();
+  if (std::getenv("PNM_UPDATE_GOLDENS")) {
+    std::ofstream out(kGoldenPath, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << "# Scenario digests (core::digest_result) pinned before the\n"
+           "# simulator event-core rewrite. Regenerate only for changes that\n"
+           "# intentionally alter simulation results: PNM_UPDATE_GOLDENS=1\n";
+    for (const Cell& c : cells) out << c.key << "=" << c.digest << "\n";
+    GTEST_SKIP() << "goldens regenerated (" << cells.size() << " cells)";
+  }
+  std::map<std::string, std::string> golden = load_goldens();
+  ASSERT_FALSE(golden.empty()) << "missing/empty golden file " << kGoldenPath;
+  ASSERT_EQ(golden.size(), cells.size()) << "scenario matrix changed shape";
+  for (const Cell& c : cells) {
+    auto it = golden.find(c.key);
+    ASSERT_NE(it, golden.end()) << "no golden for " << c.key;
+    EXPECT_EQ(it->second, c.digest) << "digest drift in " << c.key;
+  }
+}
+
+TEST(ScenarioDigestTest, DigestCoversDropLedger) {
+  core::ChainExperimentResult a;
+  core::ChainExperimentResult b = a;
+  EXPECT_EQ(core::digest_result(a), core::digest_result(b));
+  b.packets_dropped_isolated = 1;
+  EXPECT_NE(core::digest_result(a), core::digest_result(b));
+  b = a;
+  b.packets_dropped_queues = 1;
+  EXPECT_NE(core::digest_result(a), core::digest_result(b));
+  b = a;
+  b.total_energy_uj = a.total_energy_uj + 1e-12;  // bit-level, not tolerance
+  EXPECT_NE(core::digest_result(a), core::digest_result(b));
+}
+
+}  // namespace
+}  // namespace pnm

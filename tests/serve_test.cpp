@@ -23,6 +23,7 @@
 
 #include "core/campaign.h"
 #include "ingest/replay.h"
+#include "obs/span.h"
 #include "serve/loadgen.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
@@ -346,6 +347,63 @@ TEST(Serve, MetricsExposeServePlane) {
     EXPECT_NE(prom.find(name), std::string::npos) << name << "\n" << prom;
   }
   server->drain();
+}
+
+// Minimal HTTP/1.0 GET against the admin plane: send the request line, read
+// until the server closes. The admin responder always sets Connection: close,
+// so EOF delimits the response.
+std::string admin_http_get(std::uint16_t port, const std::string& path) {
+  std::string error;
+  serve::Socket sock = serve::Socket::connect_tcp("127.0.0.1", port, &error);
+  if (!sock.valid()) {
+    ADD_FAILURE() << "admin connect failed: " << error;
+    return "";
+  }
+  std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  if (!sock.send_all(ByteView(reinterpret_cast<const std::uint8_t*>(req.data()),
+                              req.size()))) {
+    ADD_FAILURE() << "admin send failed";
+    return "";
+  }
+  std::string response;
+  char buf[4096];
+  long n;
+  while ((n = sock.recv_some(buf, sizeof(buf))) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  return response;
+}
+
+TEST(Serve, SpansEndpointExposesTraceRing) {
+  const auto& fx = serve_fixture();
+  auto& spans = obs::SpanCollector::global();
+  spans.enable();
+  spans.clear();
+
+  auto server = make_server({});
+  ASSERT_NE(server, nullptr);
+
+  // With an empty ring the endpoint still answers well-formed JSON.
+  std::string empty = admin_http_get(server->admin_port(), "/spans");
+  EXPECT_NE(empty.find("200 OK"), std::string::npos) << empty;
+  EXPECT_NE(empty.find("application/json"), std::string::npos) << empty;
+  EXPECT_NE(empty.find("\"traceEvents\""), std::string::npos) << empty;
+
+  // Real ingest traffic lands instrumented scopes (verify/fold batches) in
+  // the ring, and /spans serves them in Chrome trace-event form.
+  serve::LoadgenConfig lg;
+  lg.port = server->tcp_port();
+  lg.traces = {fx.trace_a};
+  serve::LoadgenStats stats = serve::run_loadgen(lg);
+  ASSERT_TRUE(stats.ok) << stats.error;
+
+  std::string traced = admin_http_get(server->admin_port(), "/spans");
+  EXPECT_NE(traced.find("200 OK"), std::string::npos) << traced;
+  EXPECT_NE(traced.find("\"ph\":\"X\""), std::string::npos) << traced;
+  EXPECT_NE(traced.find("verify_batch"), std::string::npos) << traced;
+
+  server->drain();
+  spans.disable();
+  spans.clear();
 }
 
 }  // namespace

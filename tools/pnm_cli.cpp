@@ -12,8 +12,17 @@
 //       Closed-form answers: packets for 90/99% mark collection, failure
 //       rates, expected identification cost.
 //
-//   pnm matrix     [--packets P] [--forwarders N] [--seed X]
+//   pnm matrix     [--packets P] [--forwarders N] [--seed X] [--jobs J]
 //       The full scheme-vs-attack security matrix (CAUGHT/MISLED/...).
+//       --jobs J runs the independent cells on J worker threads; the table
+//       is byte-identical for any J.
+//
+//   pnm sweep      [--attacks A,B,...] [--runs R] [--jobs J] [--scheme S]
+//                  [--forwarders N] [--packets P] [--loss F] [--seed X]
+//       Deterministic campaign sweep: attacks × R seeds, fanned across J
+//       workers (net::CampaignRunner). Prints one CSV row per run with its
+//       scenario digest plus a sweep digest chaining them; output is
+//       byte-identical for any --jobs value.
 //
 //   pnm verify     [--packets P] [--forwarders N] [--threads T] [--scoped 1]
 //                  [--marks M] [--seed X]
@@ -89,6 +98,8 @@
 
 #include "analysis/models.h"
 #include "core/campaign.h"
+#include "core/sweep.h"
+#include "net/campaign_runner.h"
 #include "crypto/sha256_multi.h"
 #include "ingest/replay.h"
 #include "obs/exposition.h"
@@ -271,29 +282,62 @@ int cmd_matrix(const Args& args) {
   Table t(std::move(header));
   t.set_title("scheme vs attack (n=" + Table::num(n) + ", " + Table::num(packets) +
               " packets)");
-  for (auto attack : pnm::attack::all_attack_kinds()) {
-    std::vector<std::string> row{std::string(pnm::attack::attack_kind_name(attack))};
-    for (auto scheme : pnm::marking::all_scheme_kinds()) {
-      pnm::core::ChainExperimentConfig cfg;
-      cfg.forwarders = n;
-      cfg.packets = packets;
-      cfg.protocol.scheme = scheme;
-      cfg.attack = attack;
-      cfg.seed = args.num("seed", 1) * 31 + static_cast<std::uint64_t>(attack) * 7 +
-                 static_cast<std::uint64_t>(scheme);
-      auto r = pnm::core::run_chain_experiment(cfg);
-      std::string cell;
-      if (r.packets_delivered == 0) cell = "STARVED";
-      else if (!r.final_analysis.identified) cell = "BLIND";
-      else cell = r.mole_in_suspects ? "CAUGHT" : "MISLED";
-      if (r.final_analysis.via_loop) cell += "*";
-      row.push_back(std::move(cell));
-    }
+  // Cells are independent experiments: fan them out over --jobs workers and
+  // render in index order, so the table is identical for any jobs value.
+  std::vector<pnm::attack::AttackKind> attacks = pnm::attack::all_attack_kinds();
+  std::vector<pnm::marking::SchemeKind> schemes = pnm::marking::all_scheme_kinds();
+  pnm::net::CampaignRunner runner(args.num("jobs", 1));
+  std::function<std::string(std::size_t)> cell_fn = [&](std::size_t i) {
+    auto attack = attacks[i / schemes.size()];
+    auto scheme = schemes[i % schemes.size()];
+    pnm::core::ChainExperimentConfig cfg;
+    cfg.forwarders = n;
+    cfg.packets = packets;
+    cfg.protocol.scheme = scheme;
+    cfg.attack = attack;
+    cfg.seed = args.num("seed", 1) * 31 + static_cast<std::uint64_t>(attack) * 7 +
+               static_cast<std::uint64_t>(scheme);
+    auto r = pnm::core::run_chain_experiment(cfg);
+    std::string cell;
+    if (r.packets_delivered == 0) cell = "STARVED";
+    else if (!r.final_analysis.identified) cell = "BLIND";
+    else cell = r.mole_in_suspects ? "CAUGHT" : "MISLED";
+    if (r.final_analysis.via_loop) cell += "*";
+    return cell;
+  };
+  std::vector<std::string> cells =
+      runner.run_all<std::string>(attacks.size() * schemes.size(), cell_fn);
+  for (std::size_t a = 0; a < attacks.size(); ++a) {
+    std::vector<std::string> row{std::string(pnm::attack::attack_kind_name(attacks[a]))};
+    for (std::size_t s = 0; s < schemes.size(); ++s)
+      row.push_back(std::move(cells[a * schemes.size() + s]));
     t.add_row(std::move(row));
   }
   std::fputs(t.render().c_str(), stdout);
   std::printf("(* = via loop analysis; see bench/table_attack_matrix for the "
               "annotated version)\n");
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  pnm::core::SweepConfig cfg;
+  cfg.forwarders = args.num("forwarders", 10);
+  cfg.packets = args.num("packets", 200);
+  cfg.runs = args.num("runs", 3);
+  cfg.seed = args.num("seed", 1);
+  cfg.link_loss = args.real("loss", 0.0);
+  cfg.protocol.scheme = scheme_by_name(args.str("scheme", "pnm"));
+  cfg.protocol.target_marks_per_packet = args.real("marks", 3.0);
+  cfg.jobs = args.num("jobs", 1);
+  std::string list = args.str("attacks", "");
+  for (std::size_t pos = 0; pos < list.size();) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    cfg.attacks.push_back(attack_by_name(list.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  pnm::core::SweepResult result = pnm::core::run_sweep(cfg);
+  std::fputs(pnm::core::format_sweep(cfg, result).c_str(), stdout);
   return 0;
 }
 
@@ -629,6 +673,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "experiment") return cmd_experiment(args);
   if (cmd == "campaign") return cmd_campaign(args);
   if (cmd == "matrix") return cmd_matrix(args);
+  if (cmd == "sweep") return cmd_sweep(args);
   if (cmd == "model") return cmd_model(args);
   if (cmd == "verify") return cmd_verify(args);
   if (cmd == "record") return cmd_record(args);
@@ -656,8 +701,8 @@ bool write_file(const std::string& path, const std::string& content,
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s <experiment|campaign|matrix|model|verify|record|replay|"
-                 "trace-stat|serve|loadgen|list> [--flag value ...]\n"
+                 "usage: %s <experiment|campaign|matrix|sweep|model|verify|record|"
+                 "replay|trace-stat|serve|loadgen|list> [--flag value ...]\n"
                  "       [--metrics-out FILE] [--metrics-format json|prom]\n"
                  "       [--sha-backend scalar|sse2|avx2|shani]\n"
                  "       [--span-trace FILE] [--metrics-every-ms N]\n",

@@ -20,6 +20,9 @@
 //                        Build twice (-DPNM_METRICS=ON/OFF) and compare the
 //                        records_per_s pairs; `metrics_compiled` labels which
 //                        build a result came from.
+//   BM_ProvenanceOverhead — the single-shard replay lane with record-level
+//                        provenance tracing at the default 1-in-64 sample
+//                        rate (Arg 1) vs disabled (Arg 0); <2% budget.
 //   BM_CounterAdd / BM_HistogramRecord — raw primitive cost, for context.
 //
 // The trace is built once in memory (a recorded campaign would do equally;
@@ -38,6 +41,7 @@
 #include "net/topology.h"
 #include "net/wire.h"
 #include "obs/exposition.h"
+#include "obs/provenance.h"
 #include "obs/span.h"
 #include "sink/batch_verifier.h"
 #include "sink/traceback.h"
@@ -125,8 +129,13 @@ void BM_TraceDecode(benchmark::State& state) {
 BENCHMARK(BM_TraceDecode);
 
 void replay_pipeline_bench(benchmark::State& state, pnm::marking::SchemeKind kind,
-                           pnm::sink::BatchStrategy strategy) {
-  std::size_t shards = static_cast<std::size_t>(state.range(0));
+                           pnm::sink::BatchStrategy strategy,
+                           std::size_t shards_override = 0) {
+  // By default range(0) is the shard count; a nonzero override frees
+  // range(0) for benches that sweep something else (BM_ProvenanceOverhead
+  // uses it as the tracing on/off toggle).
+  std::size_t shards = shards_override ? shards_override
+                                       : static_cast<std::size_t>(state.range(0));
   std::size_t hops = 10, records = 4096;
   pnm::net::Topology topo = pnm::net::Topology::chain(hops);
   pnm::crypto::KeyStore keys(master(), topo.node_count());
@@ -192,6 +201,26 @@ void BM_MetricsOverhead(benchmark::State& state) {
   state.counters["metrics_compiled"] = pnm::obs::kMetricsEnabled ? 1 : 0;
 }
 BENCHMARK(BM_MetricsOverhead)->Arg(1)->Arg(4)->UseRealTime();
+
+// Provenance-tracing overhead probe: the same single-shard replay lane with
+// record-level tracing at the default 1-in-64 sample rate (Arg 1) vs fully
+// disabled (Arg 0). Every record pays the trace-id hash + sampling branch;
+// one in 64 additionally writes ~8 ring events. The acceptance bar is <2%
+// throughput delta (BENCH_9.json `provenance_overhead` section, gated by
+// scripts/bench_compare.py).
+void BM_ProvenanceOverhead(benchmark::State& state) {
+  auto& collector = pnm::obs::ProvenanceCollector::global();
+  std::uint32_t prior = collector.sample_rate();
+  collector.set_sample_rate(state.range(0) ? 64 : 0);
+  replay_pipeline_bench(state, pnm::marking::SchemeKind::kPnm,
+                        pnm::sink::BatchStrategy::kExhaustive, /*shards=*/1);
+  state.counters["provenance_rate"] = state.range(0) ? 64 : 0;
+  state.counters["provenance_recorded"] =
+      static_cast<double>(collector.recorded());
+  collector.set_sample_rate(prior);
+  collector.clear();
+}
+BENCHMARK(BM_ProvenanceOverhead)->Arg(0)->Arg(1)->UseRealTime();
 
 // Primitive costs, for context when reading the overhead numbers.
 void BM_CounterAdd(benchmark::State& state) {

@@ -167,12 +167,32 @@ def main():
     elif sim_core:
         print("sim event core: section present but speedup missing -> FAIL")
 
-    verdict = "fail" if (regressed or serve_failed or sim_core_failed) else "pass"
+    # Provenance-overhead gate: a record carrying a "provenance_overhead"
+    # section (BENCH_9+) must hold always-on tracing at or under its recorded
+    # on/off budget — observability that taxes the hot path more than ~2%
+    # stops being always-on in practice.
+    prov = new_record.get("provenance_overhead")
+    prov_failed = bool(prov) and not prov.get("meets_target", False)
+    if prov and "overhead" in prov:
+        print(
+            f"provenance overhead: {prov['overhead']:.4f}x of the untraced "
+            f"replay (target <= {prov['target']}x) -> "
+            f"{'FAIL' if prov_failed else 'ok'}"
+        )
+    elif prov:
+        print("provenance overhead: section present but ratio missing -> FAIL")
+
+    verdict = (
+        "fail"
+        if (regressed or serve_failed or sim_core_failed or prov_failed)
+        else "pass"
+    )
     if args.out:
         with open(args.out, "w") as f:
             json.dump(
                 {"old": args.old, "new": args.new, "tolerance": args.tolerance,
                  "gates": gates, "serve": serve_vs, "sim_event_core": sim_core,
+                 "provenance_overhead": prov,
                  "verdict": verdict, "rows": rows},
                 f, indent=2, sort_keys=True)
             f.write("\n")
@@ -203,6 +223,13 @@ def main():
         print(
             f"\nFAIL: sim event core at {sim_core.get('speedup', '?')}x over "
             f"legacy heap (target {sim_core.get('target', '?')}x)",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    if prov_failed:
+        print(
+            f"\nFAIL: provenance overhead at {prov.get('overhead', '?')}x of "
+            f"the untraced replay (target <= {prov.get('target', '?')}x)",
             file=sys.stderr,
         )
         raise SystemExit(1)

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Validate a `.pnmflight` flight-recorder dump (admin GET /flight,
+`pnm flight-dump`, or an anomaly-/signal-triggered write).
+
+Checks:
+  * the document is JSON with `pnmflight == 1` and a non-empty `reason`;
+  * `anomalies` is a list of well-formed notes (known kind, numeric
+    session/ts_us, string detail) and `anomaly_total` >= len(anomalies);
+  * `metrics` is an object (the registry snapshot);
+  * every `provenance` event is well-formed: 16-hex trace_id, known stage,
+    numeric seq/ts_us/tid/lane/a/b;
+  * ring accounting fields (`provenance_recorded`/`provenance_dropped`,
+    `spans.recorded`/`spans.dropped`) are present and consistent.
+
+Options:
+  --require-anomaly KIND   fail unless an anomaly of KIND was recorded
+  --require-provenance     fail unless at least one provenance event exists
+  --session-events         with --require-anomaly: fail unless some deliver
+                           event's `a` (session id) matches the anomaly's
+                           session — i.e. the dump actually holds sampled
+                           provenance from the stream that misbehaved
+
+Exit 0 when clean, 1 with a report otherwise.
+"""
+import argparse
+import json
+import re
+import sys
+
+KINDS = {"digest_mismatch", "merge_stall", "queue_saturated", "rekey_failed"}
+STAGES = {
+    "deliver", "decode", "route", "enqueue", "dequeue",
+    "verify", "verify_ctx", "merge", "fold", "accuse",
+}
+TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check(doc, errors):
+    if doc.get("pnmflight") != 1:
+        errors.append("pnmflight != 1 (missing or wrong version)")
+    if not isinstance(doc.get("reason"), str) or not doc["reason"]:
+        errors.append("missing or empty reason")
+    if not is_uint(doc.get("ts_us")):
+        errors.append("missing ts_us")
+    if not is_uint(doc.get("sample_rate")):
+        errors.append("missing sample_rate")
+
+    anomalies = doc.get("anomalies")
+    if not isinstance(anomalies, list):
+        errors.append("anomalies is not a list")
+        anomalies = []
+    for i, note in enumerate(anomalies):
+        where = "anomalies[%d]" % i
+        if not isinstance(note, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        if note.get("kind") not in KINDS:
+            errors.append("%s: unknown kind %r" % (where, note.get("kind")))
+        if not is_uint(note.get("ts_us")):
+            errors.append("%s: bad ts_us" % where)
+        if not is_uint(note.get("session")):
+            errors.append("%s: bad session" % where)
+        if not isinstance(note.get("detail"), str):
+            errors.append("%s: bad detail" % where)
+    total = doc.get("anomaly_total")
+    if not is_uint(total):
+        errors.append("missing anomaly_total")
+    elif total < len(anomalies):
+        errors.append(
+            "anomaly_total %d < retained notes %d" % (total, len(anomalies))
+        )
+
+    if not isinstance(doc.get("metrics"), dict):
+        errors.append("metrics is not an object")
+
+    events = doc.get("provenance")
+    if not isinstance(events, list):
+        errors.append("provenance is not a list")
+        events = []
+    for i, e in enumerate(events):
+        where = "provenance[%d]" % i
+        if not isinstance(e, dict):
+            errors.append("%s: not an object" % where)
+            continue
+        tid = e.get("trace_id")
+        if not isinstance(tid, str) or not TRACE_ID_RE.match(tid):
+            errors.append("%s: bad trace_id %r" % (where, tid))
+        elif tid == "0" * 16:
+            errors.append("%s: zero trace_id (unsampled sentinel stored)" % where)
+        if e.get("stage") not in STAGES:
+            errors.append("%s: unknown stage %r" % (where, e.get("stage")))
+        for field in ("seq", "ts_us", "tid", "lane", "a", "b"):
+            if not is_uint(e.get(field)):
+                errors.append("%s: bad %s" % (where, field))
+
+    recorded = doc.get("provenance_recorded")
+    dropped = doc.get("provenance_dropped")
+    if not is_uint(recorded):
+        errors.append("missing provenance_recorded")
+    if not is_uint(dropped):
+        errors.append("missing provenance_dropped")
+    if is_uint(recorded) and is_uint(dropped):
+        retained = recorded - dropped
+        if len(events) > recorded:
+            errors.append(
+                "more provenance events (%d) than ever recorded (%d)"
+                % (len(events), recorded)
+            )
+        elif len(events) > retained:
+            errors.append(
+                "more provenance events (%d) than retained (%d recorded - %d "
+                "dropped)" % (len(events), recorded, dropped)
+            )
+    spans = doc.get("spans")
+    if not isinstance(spans, dict) or not is_uint(spans.get("recorded")) \
+            or not is_uint(spans.get("dropped")):
+        errors.append("spans accounting missing or malformed")
+
+    return anomalies, events
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("flight", help=".pnmflight file (or - for stdin)")
+    ap.add_argument("--require-anomaly", metavar="KIND", choices=sorted(KINDS))
+    ap.add_argument("--require-provenance", action="store_true")
+    ap.add_argument("--session-events", action="store_true")
+    args = ap.parse_args()
+
+    raw = sys.stdin.read() if args.flight == "-" else open(args.flight).read()
+    try:
+        doc = json.loads(raw)
+    except ValueError as e:
+        print("check_flight: %s: not JSON: %s" % (args.flight, e))
+        return 1
+
+    errors = []
+    anomalies, events = check(doc, errors)
+
+    wanted = None
+    if args.require_anomaly:
+        matching = [n for n in anomalies
+                    if isinstance(n, dict) and n.get("kind") == args.require_anomaly]
+        if not matching:
+            errors.append("no %r anomaly recorded" % args.require_anomaly)
+        else:
+            wanted = matching[-1]
+
+    if args.require_provenance and not events:
+        errors.append("no provenance events in the dump")
+
+    if args.session_events and wanted is not None:
+        session = wanted.get("session", 0)
+        delivers = {e.get("a") for e in events
+                    if isinstance(e, dict) and e.get("stage") == "deliver"}
+        if session not in delivers:
+            errors.append(
+                "no deliver event from the anomalous session %s (sessions "
+                "seen: %s)" % (session, sorted(d for d in delivers
+                                               if isinstance(d, int)))
+            )
+
+    if errors:
+        for e in errors:
+            print("check_flight: %s" % e)
+        print("check_flight: FAIL (%d error(s))" % len(errors))
+        return 1
+
+    print(
+        "check_flight: OK (%d anomaly note(s), %d provenance event(s), "
+        "reason %r)" % (len(anomalies), len(events), doc.get("reason"))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,13 @@
 #   4. /rekey to epoch 1, then stream one more session and require the sink
 #      to acknowledge every record under the new keys (zero drops);
 #   5. /drain and require the final report to account for every record of
-#      every session, then require the daemon process to exit 0.
+#      every session, then require the daemon process to exit 0;
+#   6. flight-recorder drill on a second daemon: kill -9 a loadgen client
+#      mid-stream, require the digest-mismatch anomaly counter to fire and
+#      the anomaly-triggered `.pnmflight` dump to validate through
+#      scripts/check_flight.py — including sampled provenance events from
+#      the very session that was aborted — and fetch the same dump over the
+#      admin plane with `pnm flight-dump`.
 #
 # CI runs this under ASan+UBSan so a leak, race window, or UB in the socket
 # and session paths aborts the job rather than hiding behind a lucky run.
@@ -32,11 +38,15 @@ fi
 
 workdir="$(mktemp -d /tmp/pnm_serve_smoke.XXXXXX)"
 daemon_pid=""
+daemon2_pid=""
+victim_pid=""
 cleanup() {
-  if [[ -n "$daemon_pid" ]] && kill -0 "$daemon_pid" 2>/dev/null; then
-    kill "$daemon_pid" 2>/dev/null || true
-    wait "$daemon_pid" 2>/dev/null || true
-  fi
+  for pid in "$victim_pid" "$daemon_pid" "$daemon2_pid"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -102,18 +112,28 @@ for series in pnm_serve_sessions_total pnm_serve_records_total \
 done
 echo "metrics scrape ok ($(wc -l < "$workdir/metrics.prom") lines)"
 
-# --- 3b. /spans: live span ring as Chrome trace-event JSON -------------------
+# --- 3b. /spans: span ring + provenance rings as one Chrome trace ------------
 admin /spans > "$workdir/spans_live.json"
 python3 - "$workdir/spans_live.json" <<'EOF'
 import json, sys
 trace = json.load(open(sys.argv[1]))
 events = trace["traceEvents"]
 assert events, "span ring empty despite --span-trace + ingest traffic"
-names = {e["name"] for e in events}
+spans = [e for e in events if e["ph"] == "X"]
+prov = [e for e in events if e["ph"] == "i"]
+assert len(spans) + len(prov) == len(events), "unexpected event phase"
+names = {e["name"] for e in spans}
 assert "verify_batch" in names, f"no verify-path spans in {sorted(names)}"
-for e in events:
-    assert e["ph"] == "X" and e["dur"] >= 0, e
-print(f"/spans ok: {len(events)} events, {len(names)} distinct scopes")
+for e in spans:
+    assert e["dur"] >= 0, e
+# Default 1-in-64 sampling over 720 records: provenance instants must be
+# interleaved in the same stream (the unified export).
+assert prov, "no provenance instants in the merged /spans stream"
+for e in prov:
+    assert e["name"].startswith("prov:") and e["cat"] == "provenance", e
+    assert len(e["args"]["trace_id"]) == 16, e
+print(f"/spans ok: {len(spans)} spans over {len(names)} scopes "
+      f"+ {len(prov)} provenance instants")
 EOF
 
 # --- 4. live rekey, then a full session under the new epoch -----------------
@@ -159,4 +179,89 @@ EOF
 wait "$daemon_pid"
 daemon_pid=""
 echo "daemon exited cleanly"
+
+# --- 6. flight-recorder drill: abort a client mid-stream --------------------
+# A fresh daemon with a dense provenance sample rate (so the aborted stream
+# is guaranteed to have sampled deliver events in the rings), an armed
+# anomaly watchdog and a flight-dump path. The victim loadgen paces one
+# frame per 2ms, stretching its stream to ~seconds, so kill -9 always lands
+# mid-stream.
+flight_file="$workdir/anomaly.pnmflight"
+"$pnm_bin" serve --campaign "$corpus_dir/${traces[0]}.pnmtrace" \
+  --shards 2 --port-file "$workdir/ports2.txt" \
+  --flight-dump "$flight_file" --watchdog-ms 50 --provenance-rate 2 \
+  > "$workdir/serve2.log" 2>&1 &
+daemon2_pid=$!
+
+for _ in $(seq 1 100); do
+  [[ -s "$workdir/ports2.txt" ]] && break
+  if ! kill -0 "$daemon2_pid" 2>/dev/null; then
+    echo "error: flight-drill daemon died during startup:" >&2
+    cat "$workdir/serve2.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+tcp2_port="$(sed -n 's/^tcp=//p' "$workdir/ports2.txt")"
+admin2_port="$(sed -n 's/^admin=//p' "$workdir/ports2.txt")"
+admin2() { curl -fsS --max-time 30 "http://127.0.0.1:$admin2_port$1"; }
+echo "flight-drill daemon up: sessions on :$tcp2_port, admin on :$admin2_port"
+
+"$pnm_bin" loadgen --port "$tcp2_port" \
+  --traces "$corpus_dir/${traces[0]}.pnmtrace" --repeat 20 --pace-us 2000 \
+  > "$workdir/victim.out" 2>&1 &
+victim_pid=$!
+
+# Wait until the victim's stream has a good handful of records on the wire
+# (at rate 1-in-2 that guarantees sampled deliver events from this session),
+# then cut it down.
+for _ in $(seq 1 200); do
+  records="$(admin2 /metrics | sed -n 's/^pnm_serve_records_total //p')"
+  [[ -n "$records" && "${records%%.*}" -ge 10 ]] && break
+  if ! kill -0 "$victim_pid" 2>/dev/null; then
+    echo "error: victim loadgen finished before it could be aborted" >&2
+    exit 1
+  fi
+  sleep 0.05
+done
+kill -9 "$victim_pid" 2>/dev/null
+wait "$victim_pid" 2>/dev/null || true
+victim_pid=""
+echo "victim loadgen killed mid-stream after $records record(s)"
+
+# The session thread notices the dead socket and notes a digest-mismatch
+# anomaly (stream ended, no digest receipt); poll the per-kind counter.
+mismatches=0
+for _ in $(seq 1 200); do
+  mismatches="$(admin2 /metrics \
+    | sed -n 's/^pnm_obs_anomaly_digest_mismatch_total //p')"
+  [[ -n "$mismatches" && "${mismatches%%.*}" -ge 1 ]] && break
+  sleep 0.05
+done
+if [[ -z "$mismatches" || "${mismatches%%.*}" -lt 1 ]]; then
+  echo "error: digest-mismatch anomaly never fired after the abort" >&2
+  admin2 /metrics | grep '^pnm_obs_anomaly' >&2 || true
+  exit 1
+fi
+echo "anomaly counter fired: pnm_obs_anomaly_digest_mismatch_total=$mismatches"
+
+# The anomaly wrote the flight file on its own; it must carry the anomaly
+# note AND sampled provenance from the aborted session.
+[[ -s "$flight_file" ]] \
+  || { echo "error: anomaly did not write $flight_file" >&2; exit 1; }
+python3 "$repo_root/scripts/check_flight.py" "$flight_file" \
+  --require-anomaly digest_mismatch --require-provenance --session-events
+
+# Same dump over the admin plane, via the CLI.
+"$pnm_bin" flight-dump --admin-port "$admin2_port" \
+  --out "$workdir/ondemand.pnmflight"
+python3 "$repo_root/scripts/check_flight.py" "$workdir/ondemand.pnmflight" \
+  --require-anomaly digest_mismatch --require-provenance --session-events
+echo "flight dumps validated (anomaly-triggered + pnm flight-dump)"
+
+drain2_json="$(admin2 /drain)"
+echo "flight-drill drain: $drain2_json"
+wait "$daemon2_pid"
+daemon2_pid=""
+echo "flight-drill daemon exited cleanly"
 echo "serve smoke OK"

@@ -9,6 +9,7 @@
 #include "crypto/keys.h"
 #include "crypto/sha256.h"
 #include "net/simulator.h"
+#include "obs/provenance.h"
 #include "sink/catcher.h"
 #include "trace/writer.h"
 #include "util/log.h"
@@ -76,6 +77,12 @@ ChainExperimentResult run_chain_experiment(const ChainExperimentConfig& cfg,
 
   sink::TracebackEngine engine(*scheme, keys, topo);
   sim.set_sink_handler([&](net::Packet&& p, double) {
+    // Simulator delivery is a record's first provenance stage: the same
+    // content hash replays/serves compute, so a traced record here is the
+    // traced record everywhere downstream.
+    obs::prov_emit(
+        obs::ProvenanceCollector::global().admit(p.report, p.delivered_by),
+        engine.packets_ingested(), obs::ProvStage::kDeliver, 0, p.marks.size());
     engine.ingest(p);
     if (observer) observer(engine.packets_ingested(), engine);
   });

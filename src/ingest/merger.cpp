@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "net/wire.h"
+#include "obs/provenance.h"
 #include "obs/span.h"
 
 namespace pnm::ingest {
@@ -47,12 +48,33 @@ void TracebackMerger::submit(std::vector<FoldEntry> entries) {
 }
 
 void TracebackMerger::drain_ready_locked() {
+  // Trace id stamped on an accusation whose trigger record was unsampled:
+  // the accusation is the event the whole trace exists to explain, so as
+  // long as sampling is on at all it is emitted even for an unsampled
+  // trigger, under a recognizable sentinel. With sampling off entirely the
+  // provenance stream must stay empty.
+  constexpr std::uint64_t kUntracedAccusation = 0xacc0acc0acc0acc0ull;
+  const bool tracing_on =
+      obs::ProvenanceCollector::global().sample_rate() != 0;
   while (!buffer_.empty() && buffer_.top().seq == next_seq_) {
     const FoldEntry& e = buffer_.top();
     if (!e.dropped) {
+      obs::prov_emit(e.trace_id, e.seq, obs::ProvStage::kMerge, buffer_.size());
       if (engine_) engine_->fold(e.delivered_by, e.verdict);
       digest_.update(e.fingerprint);
       ++folded_;
+      obs::prov_emit(e.trace_id, e.seq, obs::ProvStage::kFold,
+                     e.verdict.total_marks, e.verdict.chain.size());
+      if (engine_ && !accused_) {
+        const sink::RouteAnalysis& a = engine_->analysis();
+        if (a.identified) {
+          accused_ = true;
+          if (tracing_on)
+            obs::prov_emit(e.trace_id ? e.trace_id : kUntracedAccusation, e.seq,
+                           obs::ProvStage::kAccuse, a.stop_node,
+                           a.suspects.size());
+        }
+      }
     }
     ++next_seq_;
     buffer_.pop();

@@ -35,6 +35,7 @@ namespace pnm::ingest {
 /// One record's contribution to the merged state, produced by a shard lane.
 struct FoldEntry {
   std::uint64_t seq = 0;              ///< global arrival sequence number
+  std::uint64_t trace_id = 0;         ///< provenance trace id; 0 = unsampled
   NodeId delivered_by = kInvalidNode;
   marking::VerifyResult verdict;
   Bytes fingerprint;  ///< digest bytes: (wire, delivered_by, verdict)
@@ -89,6 +90,7 @@ class TracebackMerger {
   std::uint64_t next_seq_ = 0;
   std::size_t folded_ = 0;
   std::size_t max_pending_ = 0;
+  bool accused_ = false;  ///< latch: the engine's first identified transition
   sink::TracebackEngine* engine_;
   obs::Histogram* merge_us_;
   crypto::Sha256 digest_;

@@ -4,7 +4,10 @@
 #include <exception>
 #include <thread>
 
+#include "crypto/sha256_multi.h"
 #include "net/wire.h"
+#include "obs/flight.h"
+#include "obs/provenance.h"
 #include "obs/span.h"
 
 namespace pnm::ingest {
@@ -65,6 +68,19 @@ void Pipeline::init_lanes() {
         "ingest_queue_depth_shard" + std::to_string(i)));
   }
   stats_.shards = n;
+  // Bind the provenance/flight telemetry into this pipeline's registry so
+  // every replay exports the same metric key set (golden-pinned) regardless
+  // of whether tracing fires.
+  obs::ProvenanceCollector::global().bind_metrics(counters_->registry());
+  obs::FlightRecorder::global().bind_metrics(counters_->registry());
+}
+
+Pipeline::~Pipeline() {
+  // init_lanes() bound the global collectors to counters_->registry(), which
+  // may be a private instance dying right after this destructor. A later
+  // pipeline rebinds on construction.
+  obs::ProvenanceCollector::global().unbind_metrics();
+  obs::FlightRecorder::global().unbind_metrics();
 }
 
 bool Pipeline::push(net::Packet&& p, double time_s) {
@@ -74,14 +90,25 @@ bool Pipeline::push(net::Packet&& p, double time_s) {
 bool Pipeline::push(net::Packet&& p, double time_s, std::shared_ptr<StreamSink> sink,
                     std::uint64_t stream_seq) {
   std::size_t lane = router_.shard_of(p);
+  std::uint64_t trace_id =
+      obs::ProvenanceCollector::global().admit(p.report, p.delivered_by);
+  std::uint64_t mark_count = p.marks.size();
+  std::uint64_t report_bytes = p.report.size();
   std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_acq_rel);
+  obs::prov_emit(trace_id, seq, obs::ProvStage::kDecode, mark_count, report_bytes);
+  obs::prov_emit(trace_id, seq, obs::ProvStage::kRoute, lane, 0,
+                 static_cast<std::uint16_t>(lane));
   if (queues_[lane]->push(
-          Item{seq, std::move(p), time_s, std::move(sink), stream_seq}))
+          Item{seq, trace_id, std::move(p), time_s, std::move(sink), stream_seq})) {
+    obs::prov_emit(trace_id, seq, obs::ProvStage::kEnqueue, lane,
+                   queues_[lane]->size(), static_cast<std::uint16_t>(lane));
     return true;
+  }
   // The queue was closed after the sequence number was taken: tombstone it
   // so the merge frontier can advance past the gap.
   std::vector<FoldEntry> tomb(1);
   tomb[0].seq = seq;
+  tomb[0].trace_id = trace_id;
   tomb[0].dropped = true;
   merger_.submit(std::move(tomb));
   return false;
@@ -119,6 +146,15 @@ void Pipeline::retire_shard_gauges() {
     counters_->registry().retire("ingest_queue_depth_shard" + std::to_string(i));
 }
 
+std::size_t Pipeline::max_queue_depth() const {
+  std::size_t deepest = 0;
+  for (const auto& q : queues_) {
+    std::size_t depth = q->size();
+    if (depth > deepest) deepest = depth;
+  }
+  return deepest;
+}
+
 void Pipeline::sample_queue_depths(std::size_t lane) {
   std::size_t own = queues_[lane]->size();
   lane_depth_[lane]->set(static_cast<std::int64_t>(own));
@@ -143,17 +179,50 @@ void Pipeline::run_lane(std::size_t lane) {
 
       packets.clear();
       packets.reserve(batch.size());
-      for (Item& it : batch) packets.push_back(std::move(it.packet));
+      bool any_traced = false;
+      for (Item& it : batch) {
+        obs::prov_emit(it.trace_id, it.seq, obs::ProvStage::kDequeue, lane,
+                       batch.size(), static_cast<std::uint16_t>(lane));
+        if (it.trace_id != 0) any_traced = true;
+        packets.push_back(std::move(it.packet));
+      }
+
+      // PRF-cache deltas bracket the whole batch (the verifier works in
+      // batches); exact at one lane, approximate when lanes overlap.
+      std::uint64_t hits0 = 0, misses0 = 0;
+      if constexpr (obs::kMetricsEnabled) {
+        if (any_traced) {
+          hits0 = counters_->get(util::Metric::kCacheHits);
+          misses0 = counters_->get(util::Metric::kCacheMisses);
+        }
+      }
 
       std::vector<marking::VerifyResult> verdicts = verifier.verify_batch(packets);
+
+      std::uint64_t ctx_a = 0, ctx_b = 0;
+      if constexpr (obs::kMetricsEnabled) {
+        if (any_traced) {
+          std::uint64_t dh = counters_->get(util::Metric::kCacheHits) - hits0;
+          std::uint64_t dm = counters_->get(util::Metric::kCacheMisses) - misses0;
+          ctx_a = static_cast<std::uint64_t>(crypto::active_sha_backend());
+          ctx_b = (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dh)) << 32) |
+                  static_cast<std::uint32_t>(dm);
+        }
+      }
 
       // Pre-serialize each record's digest contribution here, in parallel
       // across lanes; the merger applies them in global sequence order.
       std::vector<FoldEntry> entries;
       entries.reserve(batch.size());
       for (std::size_t i = 0; i < packets.size(); ++i) {
+        obs::prov_emit(batch[i].trace_id, batch[i].seq, obs::ProvStage::kVerify,
+                       verdicts[i].chain.size(), verdicts[i].invalid_marks,
+                       static_cast<std::uint16_t>(lane));
+        obs::prov_emit(batch[i].trace_id, batch[i].seq, obs::ProvStage::kVerifyCtx,
+                       ctx_a, ctx_b, static_cast<std::uint16_t>(lane));
         FoldEntry e;
         e.seq = batch[i].seq;
+        e.trace_id = batch[i].trace_id;
         e.delivered_by = packets[i].delivered_by;
         e.fingerprint = fold_fingerprint(packets[i], verdicts[i]);
         e.verdict = std::move(verdicts[i]);

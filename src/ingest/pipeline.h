@@ -93,6 +93,12 @@ class Pipeline {
   Pipeline(sink::VerifierBank& bank, sink::TracebackEngine* traceback,
            PipelineConfig cfg = {}, util::Counters* counters = nullptr);
 
+  /// Unbinds the global provenance/flight telemetry that init_lanes() bound
+  /// to this pipeline's registry — the registry may die with the pipeline
+  /// (private counters instance), and the global collectors must not keep
+  /// pointers into it.
+  ~Pipeline();
+
   // ---- producer side (any thread) ----
 
   /// Route, stamp with the next arrival sequence number, and block on the
@@ -133,6 +139,16 @@ class Pipeline {
   /// Block (polling) until quiescent(). Returns false on timeout.
   bool wait_quiescent(std::chrono::milliseconds timeout);
 
+  // ---- live probes (the anomaly watchdog's view; any thread) ----
+
+  /// Deepest shard queue right now (not the high-water mark).
+  std::size_t max_queue_depth() const;
+  /// Per-shard queue capacity (the saturation probe's denominator).
+  std::size_t queue_capacity() const { return cfg_.queue_capacity; }
+  /// Next sequence number the merge is waiting for (stall probe: a frontier
+  /// that stops advancing while seqs_issued() is ahead of it).
+  std::uint64_t merge_frontier() const { return merger_.frontier(); }
+
   /// Retire this pipeline's per-shard queue-depth gauges from the metrics
   /// registry (obs::MetricsRegistry::retire): a long-lived daemon that
   /// restarts its pipeline with a different shard count would otherwise
@@ -162,6 +178,7 @@ class Pipeline {
  private:
   struct Item {
     std::uint64_t seq = 0;
+    std::uint64_t trace_id = 0;  ///< provenance trace id; 0 = unsampled
     net::Packet packet;
     double time_s = 0.0;
     std::shared_ptr<StreamSink> sink;  ///< per-stream tap, co-owned (serve sessions)

@@ -1,0 +1,276 @@
+#include "obs/flight.h"
+
+#include <csignal>
+#include <cstdio>
+
+#include "obs/exposition.h"
+#include "obs/provenance.h"
+#include "obs/span.h"
+
+namespace pnm::obs {
+
+namespace {
+
+void append_escaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+std::sig_atomic_t g_handlers_installed = 0;
+
+void fatal_signal_handler(int signo) {
+  // Not async-signal-safe (allocates, locks); best effort — see header.
+  FlightRecorder& rec = FlightRecorder::global();
+  std::string path = rec.dump_path();
+  if (!path.empty()) {
+    char reason[64];
+    std::snprintf(reason, sizeof(reason), "signal %d", signo);
+    rec.dump_to_file(path, reason);
+  }
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+}  // namespace
+
+const char* anomaly_kind_name(AnomalyKind k) {
+  switch (k) {
+    case AnomalyKind::kDigestMismatch: return "digest_mismatch";
+    case AnomalyKind::kMergeStall: return "merge_stall";
+    case AnomalyKind::kQueueSaturated: return "queue_saturated";
+    case AnomalyKind::kRekeyFailed: return "rekey_failed";
+  }
+  return "?";
+}
+
+FlightRecorder& FlightRecorder::global() {
+  static FlightRecorder* instance = new FlightRecorder();  // never destroyed
+  return *instance;
+}
+
+void FlightRecorder::bind_metrics(MetricsRegistry& registry) {
+  total_counter_.store(&registry.counter("obs_anomaly"), std::memory_order_release);
+  for (std::size_t i = 0; i < kAnomalyKindCount; ++i) {
+    std::string name = "obs_anomaly_";
+    name += anomaly_kind_name(static_cast<AnomalyKind>(i));
+    kind_counters_[i].store(&registry.counter(name), std::memory_order_release);
+  }
+}
+
+void FlightRecorder::unbind_metrics() {
+  total_counter_.store(nullptr, std::memory_order_release);
+  for (auto& c : kind_counters_) c.store(nullptr, std::memory_order_release);
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  dump_path_ = std::move(path);
+}
+
+std::string FlightRecorder::dump_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dump_path_;
+}
+
+void FlightRecorder::note_anomaly(AnomalyKind kind, std::string detail,
+                                  std::uint64_t session) {
+  FlightNote note;
+  note.ts_us = steady_now_us();
+  note.kind = kind;
+  note.session = session;
+  note.detail = std::move(detail);
+
+  if (Counter* c = total_counter_.load(std::memory_order_acquire)) c->add();
+  std::size_t idx = static_cast<std::size_t>(kind);
+  if (idx < kAnomalyKindCount)
+    if (Counter* c = kind_counters_[idx].load(std::memory_order_acquire)) c->add();
+
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (notes_.size() >= kMaxNotes) notes_.erase(notes_.begin());
+    notes_.push_back(note);
+    ++total_notes_;
+    path = dump_path_;
+  }
+  if (!path.empty()) {
+    std::string reason = "anomaly:";
+    reason += anomaly_kind_name(kind);
+    dump_to_file(path, reason);
+  }
+}
+
+std::vector<FlightNote> FlightRecorder::notes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return notes_;
+}
+
+std::uint64_t FlightRecorder::anomaly_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_notes_;
+}
+
+std::string FlightRecorder::dump(const std::string& reason) const {
+  std::vector<FlightNote> anomalies;
+  std::uint64_t total = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    anomalies = notes_;
+    total = total_notes_;
+  }
+
+  char buf[160];
+  std::string out = "{\"pnmflight\":1,\"reason\":\"";
+  append_escaped(&out, reason);
+  std::snprintf(buf, sizeof(buf), "\",\"ts_us\":%llu,\"sample_rate\":%u",
+                static_cast<unsigned long long>(steady_now_us()),
+                ProvenanceCollector::global().sample_rate());
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf), ",\"anomaly_total\":%llu,\"anomalies\":[",
+                static_cast<unsigned long long>(total));
+  out += buf;
+  for (std::size_t i = 0; i < anomalies.size(); ++i) {
+    const FlightNote& n = anomalies[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"ts_us\":%llu,\"kind\":\"%s\",\"session\":%llu,\"detail\":\"",
+                  i ? "," : "", static_cast<unsigned long long>(n.ts_us),
+                  anomaly_kind_name(n.kind),
+                  static_cast<unsigned long long>(n.session));
+    out += buf;
+    append_escaped(&out, n.detail);
+    out += "\"}";
+  }
+  out += "]";
+
+  out += ",\"metrics\":";
+  out += to_json(MetricsRegistry::global().scrape());
+
+  ProvenanceCollector& prov = ProvenanceCollector::global();
+  out += ",\"provenance\":[";
+  std::vector<ProvEvent> events = prov.snapshot();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ProvEvent& e = events[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"trace_id\":\"%016llx\",\"seq\":%llu,\"stage\":\"%s\","
+                  "\"ts_us\":%llu,\"tid\":%u,\"lane\":%u,\"a\":%llu,\"b\":%llu}",
+                  i ? "," : "", static_cast<unsigned long long>(e.trace_id),
+                  static_cast<unsigned long long>(e.seq), prov_stage_name(e.stage),
+                  static_cast<unsigned long long>(e.ts_us), e.tid, e.lane,
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += buf;
+  }
+  out += "]";
+
+  std::snprintf(
+      buf, sizeof(buf),
+      ",\"provenance_recorded\":%llu,\"provenance_dropped\":%llu,"
+      "\"spans\":{\"recorded\":%llu,\"dropped\":%llu}}",
+      static_cast<unsigned long long>(prov.recorded()),
+      static_cast<unsigned long long>(prov.dropped()),
+      static_cast<unsigned long long>(SpanCollector::global().recorded()),
+      static_cast<unsigned long long>(SpanCollector::global().dropped()));
+  out += buf;
+  return out;
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path,
+                                  const std::string& reason) const {
+  std::string doc = dump(reason);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  bool ok = written == doc.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+void FlightRecorder::install_signal_handlers() {
+  if (g_handlers_installed) return;
+  g_handlers_installed = 1;
+  std::signal(SIGSEGV, fatal_signal_handler);
+  std::signal(SIGABRT, fatal_signal_handler);
+#ifdef SIGBUS
+  std::signal(SIGBUS, fatal_signal_handler);
+#endif
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  notes_.clear();
+  total_notes_ = 0;
+}
+
+AnomalyWatchdog::AnomalyWatchdog(std::chrono::milliseconds interval)
+    : interval_(interval) {}
+
+AnomalyWatchdog::~AnomalyWatchdog() { stop(); }
+
+void AnomalyWatchdog::add_probe(AnomalyKind kind, Probe probe) {
+  std::lock_guard<std::mutex> lock(mu_);
+  probes_.push_back(Entry{kind, std::move(probe), false});
+}
+
+void AnomalyWatchdog::poll_once() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Entry& entry : probes_) {
+    std::optional<std::string> detail = entry.probe();
+    if (detail && !entry.firing) {
+      entry.firing = true;
+      FlightRecorder::global().note_anomaly(entry.kind, std::move(*detail));
+    } else if (!detail) {
+      entry.firing = false;
+    }
+  }
+}
+
+void AnomalyWatchdog::start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      if (cv_.wait_for(lock, interval_, [this] { return stop_; })) break;
+      lock.unlock();
+      poll_once();
+      lock.lock();
+    }
+  });
+}
+
+void AnomalyWatchdog::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+}
+
+}  // namespace pnm::obs

@@ -1,0 +1,150 @@
+// Always-on flight recorder: when a run misbehaves — digest mismatch, merge
+// stall, saturated queues, failed rekey, fatal signal — the question is "what
+// was the process doing just now?", and the answer must not depend on having
+// enabled tracing in advance. The recorder snapshots what the process already
+// keeps: the provenance rings (obs/provenance.h), the span ring, the full
+// metrics registry, and the recent anomaly log, serialized as one versioned
+// `.pnmflight` JSON document.
+//
+// Dumps are produced three ways:
+//   * on demand — admin `GET /flight`, `pnm flight-dump`;
+//   * on anomaly — a watchdog thread polls registered probes (merge-frontier
+//     stall, queue high-water saturation) and sessions report digest-receipt
+//     mismatches / rekey failures directly; each anomaly bumps the aggregate
+//     `obs_anomaly` counter plus a per-kind counter (exposed by the prom
+//     layer as `pnm_obs_anomaly_*_total`) and, when a dump path is
+//     configured, writes the flight file;
+//   * on fatal signal — best-effort handlers (SIGSEGV/SIGABRT/SIGBUS) dump
+//     and re-raise. This path allocates and takes locks, which is not
+//     async-signal-safe; it is the standard flight-recorder trade: a dump
+//     that usually works beats no dump.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace pnm::obs {
+
+enum class AnomalyKind : std::uint8_t {
+  kDigestMismatch = 0,  ///< a stream ended without a matching digest receipt
+  kMergeStall,          ///< merge frontier stopped advancing with work queued
+  kQueueSaturated,      ///< an ingest queue held at high-water capacity
+  kRekeyFailed,         ///< rekey quiesce timed out / epoch swap failed
+};
+inline constexpr std::size_t kAnomalyKindCount = 4;
+
+const char* anomaly_kind_name(AnomalyKind k);
+
+/// One recorded anomaly.
+struct FlightNote {
+  std::uint64_t ts_us = 0;  ///< steady_now_us() at detection
+  AnomalyKind kind = AnomalyKind::kDigestMismatch;
+  std::uint64_t session = 0;  ///< serve session id when applicable, else 0
+  std::string detail;         ///< human-readable context
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& global();
+
+  /// Register the anomaly counters on `registry`: the aggregate
+  /// `obs_anomaly` plus one `obs_anomaly_<kind>` counter per kind (the prom
+  /// exposition appends `_total`). Safe to call repeatedly.
+  void bind_metrics(MetricsRegistry& registry);
+
+  /// Drop the bound counter pointers; call before their registry dies (the
+  /// Pipeline destructor does). Anomalies keep being logged, just unmetered,
+  /// until the next bind_metrics.
+  void unbind_metrics();
+
+  /// File every anomaly- and signal-triggered dump is written to. Empty
+  /// (default) disables automatic dumps; on-demand dump() still works.
+  void set_dump_path(std::string path);
+  std::string dump_path() const;
+
+  /// Record an anomaly: bump the counters, append to the bounded note log,
+  /// and — when a dump path is set — write the flight file.
+  void note_anomaly(AnomalyKind kind, std::string detail, std::uint64_t session = 0);
+
+  /// Anomalies recorded so far (most recent kMaxNotes retained).
+  std::vector<FlightNote> notes() const;
+  std::uint64_t anomaly_count() const;
+
+  /// The versioned `.pnmflight` JSON document: anomaly log, metrics
+  /// snapshot, full provenance events, span ring accounting.
+  std::string dump(const std::string& reason) const;
+
+  /// dump() to `path`; false on I/O failure.
+  bool dump_to_file(const std::string& path, const std::string& reason) const;
+
+  /// Install best-effort fatal-signal handlers (SIGSEGV, SIGABRT, SIGBUS)
+  /// that dump to the configured path and re-raise. No-op when no dump path
+  /// is set at signal time. Idempotent.
+  void install_signal_handlers();
+
+  /// Drop recorded notes (between-run isolation in tests).
+  void clear();
+
+  static constexpr std::size_t kMaxNotes = 256;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FlightNote> notes_;
+  std::uint64_t total_notes_ = 0;
+  std::string dump_path_;
+  std::atomic<Counter*> total_counter_{nullptr};
+  std::array<std::atomic<Counter*>, kAnomalyKindCount> kind_counters_{};
+};
+
+/// Periodic anomaly detector: polls registered probes on a background thread.
+/// A probe returns a detail string while its condition holds and nullopt when
+/// clear; the watchdog notes the anomaly on the clear→firing edge only (a
+/// per-probe latch), so a stuck condition produces one note, not one per
+/// tick.
+class AnomalyWatchdog {
+ public:
+  using Probe = std::function<std::optional<std::string>()>;
+
+  explicit AnomalyWatchdog(std::chrono::milliseconds interval);
+  ~AnomalyWatchdog();
+  AnomalyWatchdog(const AnomalyWatchdog&) = delete;
+  AnomalyWatchdog& operator=(const AnomalyWatchdog&) = delete;
+
+  /// Register a probe before start().
+  void add_probe(AnomalyKind kind, Probe probe);
+
+  void start();
+  /// Idempotent; joins the poll thread.
+  void stop();
+
+  /// Poll every probe once, inline (deterministic path for tests).
+  void poll_once();
+
+ private:
+  struct Entry {
+    AnomalyKind kind;
+    Probe probe;
+    bool firing = false;
+  };
+
+  std::chrono::milliseconds interval_;
+  std::vector<Entry> probes_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pnm::obs

@@ -11,7 +11,11 @@ thread_local std::uint32_t tls_span_depth = 0;
 }  // namespace
 
 std::uint64_t steady_now_us() {
-  static const auto t0 = std::chrono::steady_clock::now();
+  // Anchored 1us before the first call so the result is never 0: downstream
+  // layers (the provenance ring, flight notes) use ts_us == 0 as the
+  // "unstamped" sentinel, and the very first stamp in a process must not
+  // collide with it.
+  static const auto t0 = std::chrono::steady_clock::now() - std::chrono::microseconds(1);
   return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
                                         std::chrono::steady_clock::now() - t0)
                                         .count());

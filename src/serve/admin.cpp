@@ -3,7 +3,8 @@
 #include <cstdio>
 #include <utility>
 
-#include "obs/span.h"
+#include "obs/flight.h"
+#include "obs/provenance.h"
 #include "serve/server.h"
 
 namespace pnm::serve {
@@ -82,12 +83,25 @@ void AdminServer::handle(Socket sock) {
     response = http_response(200, "OK", server_.metrics_prometheus(),
                              "text/plain; version=0.0.4; charset=utf-8");
   } else if (path == "/spans") {
-    // The span ring as Chrome trace-event JSON — loadable straight into
-    // Perfetto. Collection is opt-in (--span-trace / enable()); when it is
-    // off the ring is empty and this returns an empty traceEvents array.
-    response = http_response(200, "OK",
-                             obs::SpanCollector::global().chrome_trace_json(),
+    // The span ring and the provenance rings merged into one Chrome
+    // trace-event stream — loadable straight into Perfetto. Span collection
+    // is opt-in (--span-trace / enable()); provenance instants appear
+    // whenever sampling is on.
+    response = http_response(200, "OK", obs::export_chrome_trace(),
                              "application/json");
+  } else if (path == "/provenance") {
+    // Full runtime provenance JSONL: every retained event with thread/lane/
+    // timing context, timestamp-ordered.
+    response = http_response(200, "OK", obs::provenance_jsonl_full(),
+                             "application/x-ndjson");
+  } else if (path == "/flight") {
+    // On-demand flight dump; also persisted to the configured --flight-dump
+    // path so the artifact survives the daemon.
+    std::string doc = obs::FlightRecorder::global().dump("admin /flight");
+    if (!server_.flight_dump_path().empty())
+      obs::FlightRecorder::global().dump_to_file(server_.flight_dump_path(),
+                                                 "admin /flight");
+    response = http_response(200, "OK", doc, "application/json");
   } else if (path == "/drain") {
     response = http_response(200, "OK", drain_json(server_.drain()) + "\n",
                              "application/json");

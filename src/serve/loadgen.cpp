@@ -207,7 +207,8 @@ SessionResult run_session(const LoadgenConfig& cfg, const LoadedTrace& trace,
     std::size_t first = i;
     std::size_t bytes = 0;
     std::uint64_t n_frames = 0;
-    while (i < trace.frames.size() && n_frames < conn.credits &&
+    std::uint64_t frame_budget = cfg.pace_us ? 1 : conn.credits;
+    while (i < trace.frames.size() && n_frames < frame_budget &&
            bytes + trace.frames[i].length <= kCoalesceBytes) {
       bytes += trace.frames[i].length;
       ++n_frames;
@@ -225,6 +226,8 @@ SessionResult run_session(const LoadgenConfig& cfg, const LoadedTrace& trace,
     conn.credits -= n_frames;
     records_sent += n_frames;
     since_ping += static_cast<std::size_t>(n_frames);
+    if (cfg.pace_us > 0)
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg.pace_us));
     if (cfg.ping_every > 0 && since_ping >= cfg.ping_every) {
       since_ping = 0;
       if (!conn.sock.send_all(encode_msg(MsgType::kPing, encode_token(now_us()))))

@@ -27,6 +27,10 @@ struct LoadgenConfig {
   std::size_t connections = 1;
   std::size_t repeat = 1;      ///< sessions per connection slot
   std::size_t ping_every = 32; ///< record frames between RTT probes; 0 = off
+  /// Microseconds to sleep between record frames (sent one at a time when
+  /// set). 0 = full speed. Stretches a stream out in wall time — fault
+  /// drills (mid-stream aborts) and soak runs need a window to hit.
+  std::size_t pace_us = 0;
 };
 
 struct SessionResult {

@@ -131,6 +131,10 @@ std::uint16_t Server::admin_port() const { return admin_ ? admin_->port() : 0; }
 
 void Server::start() {
   if (started_.exchange(true)) return;
+  if (!cfg_.flight_dump_path.empty()) {
+    obs::FlightRecorder::global().set_dump_path(cfg_.flight_dump_path);
+    obs::FlightRecorder::global().install_signal_handlers();
+  }
   consumer_ = std::thread([this] {
     try {
       pipeline_->run();
@@ -143,6 +147,44 @@ void Server::start() {
   accept_threads_.emplace_back([this] { accept_loop(&tcp_listener_); });
   if (unix_listener_.valid())
     accept_threads_.emplace_back([this] { accept_loop(&unix_listener_); });
+
+  if (cfg_.watchdog_ms > 0) {
+    watchdog_ = std::make_unique<obs::AnomalyWatchdog>(
+        std::chrono::milliseconds(cfg_.watchdog_ms));
+    // Merge stall: the frontier stopped advancing across several polls while
+    // issued sequence numbers are still ahead of it. A rekey holds the gate
+    // for up to 30s, but it first waits for quiescence — frontier motion —
+    // so a genuinely stuck merge is distinguishable from a busy one.
+    watchdog_->add_probe(obs::AnomalyKind::kMergeStall,
+                         [this]() -> std::optional<std::string> {
+                           std::uint64_t frontier = pipeline_->merge_frontier();
+                           std::uint64_t issued = pipeline_->seqs_issued();
+                           if (frontier == stall_frontier_ && issued > frontier) {
+                             if (++stall_polls_ >= 8)
+                               return "merge frontier stuck at " +
+                                      std::to_string(frontier) + " with " +
+                                      std::to_string(issued - frontier) +
+                                      " records in flight";
+                           } else {
+                             stall_polls_ = 0;
+                           }
+                           stall_frontier_ = frontier;
+                           return std::nullopt;
+                         });
+    // Queue saturation: some shard queue is pinned at capacity, so producers
+    // are blocked on backpressure.
+    watchdog_->add_probe(obs::AnomalyKind::kQueueSaturated,
+                         [this]() -> std::optional<std::string> {
+                           std::size_t depth = pipeline_->max_queue_depth();
+                           std::size_t cap = pipeline_->queue_capacity();
+                           if (cap > 0 && depth >= cap)
+                             return "shard queue saturated: " +
+                                    std::to_string(depth) + "/" +
+                                    std::to_string(cap);
+                           return std::nullopt;
+                         });
+    watchdog_->start();
+  }
 }
 
 void Server::accept_loop(Listener* listener) {
@@ -212,6 +254,9 @@ std::optional<std::uint64_t> Server::rekey() {
     // Records are still in queues or lane batches past the grace period:
     // swapping keys now would race the lanes' verify caches and verify
     // in-flight records under the wrong epoch. Keep the old keys and fail.
+    obs::FlightRecorder::global().note_anomaly(
+        obs::AnomalyKind::kRekeyFailed,
+        "rekey abandoned: pipeline failed to quiesce within grace period");
     return std::nullopt;
   }
   std::uint64_t epoch = bank_->key_epoch() + 1;
@@ -234,6 +279,10 @@ DrainReport Server::drain() {
     return report_;
   }
   draining_.store(true, std::memory_order_release);
+  // Stop the watchdog first: its probes read pipeline state the rest of the
+  // drain sequence is about to tear down, and a draining pipeline legally
+  // looks like a stall.
+  if (watchdog_) watchdog_->stop();
   // Only shut the listeners down here: the accept threads may still be
   // blocked inside accept(), and the fd numbers must stay reserved until
   // those threads are joined below. close() then releases them.

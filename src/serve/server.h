@@ -42,6 +42,7 @@
 
 #include "core/campaign.h"
 #include "ingest/pipeline.h"
+#include "obs/flight.h"
 #include "serve/session.h"
 #include "serve/socket.h"
 #include "sink/batch_verifier.h"
@@ -67,6 +68,11 @@ struct ServerConfig {
   std::uint32_t credit_window = 256;
   bool scoped = false;
   util::Counters* counters = nullptr;  ///< null = a private instance
+  /// Where anomaly-/signal-triggered flight dumps land (and the file
+  /// GET /flight reports). Empty = on-demand dumps only.
+  std::string flight_dump_path;
+  /// Anomaly-watchdog poll interval; 0 disables the watchdog thread.
+  std::size_t watchdog_ms = 500;
 };
 
 struct DrainReport {
@@ -114,6 +120,7 @@ class Server {
   std::uint32_t credit_window() const { return cfg_.credit_window; }
   util::Counters* counters() { return counters_; }
   bool draining() const { return draining_.load(std::memory_order_acquire); }
+  const std::string& flight_dump_path() const { return cfg_.flight_dump_path; }
 
   /// Push one decoded record through the rekey gate (shared lock: many
   /// sessions push concurrently; /rekey takes the gate exclusively). False
@@ -151,6 +158,12 @@ class Server {
   Listener tcp_listener_;
   Listener unix_listener_;
   std::unique_ptr<AdminServer> admin_;
+
+  /// Anomaly watchdog (merge-stall + queue-saturation probes); probe state
+  /// below is touched only from its poll thread.
+  std::unique_ptr<obs::AnomalyWatchdog> watchdog_;
+  std::uint64_t stall_frontier_ = 0;
+  std::size_t stall_polls_ = 0;
 
   /// Rekey gate: sessions push under shared locks, rekey swaps under the
   /// exclusive lock. Also orders the epoch swap against every later push.

@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "net/wire.h"
+#include "obs/flight.h"
+#include "obs/provenance.h"
 #include "serve/server.h"
 
 namespace pnm::serve {
@@ -24,8 +26,18 @@ void Session::run() {
     if (n <= 0) {
       // Peer vanished (or drain force-closed us) without Eof: whatever
       // records already went in stay in the global digest — they were
-      // verified — but there is no receipt to send.
-      if (!done_) server_.note_session_abort();
+      // verified — but there is no receipt to send. A stream that already
+      // pushed records and then died is a digest-receipt mismatch: the
+      // global digest holds records no client receipt accounts for.
+      if (!done_) {
+        server_.note_session_abort();
+        if (stream_seq_ > 0)
+          obs::FlightRecorder::global().note_anomaly(
+              obs::AnomalyKind::kDigestMismatch,
+              "client disconnected mid-stream after " +
+                  std::to_string(stream_seq_) + " records, no digest receipt",
+              id_);
+      }
       return;
     }
     server_.note_session_bytes(static_cast<std::size_t>(n));
@@ -115,6 +127,12 @@ bool Session::drain_trace_frames() {
           break;  // frame consumed, no stream seq — replay skips it too
         }
         packet->delivered_by = outcome->record.delivered_by;
+        // Session ingress is the serve-side kDeliver: same content hash as
+        // simulator delivery and replay, so sampling picks the same records.
+        obs::prov_emit(obs::ProvenanceCollector::global().admit(
+                           packet->report, packet->delivered_by),
+                       stream_seq_, obs::ProvStage::kDeliver, id_,
+                       packet->marks.size());
         if (!server_.gated_push(std::move(*packet), outcome->record.time_s(),
                                 digest_, stream_seq_)) {
           abort_session("sink is draining");
@@ -169,6 +187,9 @@ bool Session::finish_and_report() {
   // this session's digest (and the global merge has it in flight or done).
   if (!digest_->wait_for_records(static_cast<std::size_t>(stream_seq_),
                                  std::chrono::milliseconds(60000))) {
+    obs::FlightRecorder::global().note_anomaly(
+        obs::AnomalyKind::kDigestMismatch,
+        "digest receipt timed out: stream records never settled", id_);
     abort_session("timed out waiting for verification to settle");
     return false;
   }

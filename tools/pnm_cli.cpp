@@ -59,11 +59,15 @@
 //
 //   pnm loadgen   --traces A[,B,...] (--port P | --unix PATH) [--host H]
 //                 [--connections M] [--repeat N] [--ping-every K]
-//                 [--json FILE]
+//                 [--pace-us U] [--json FILE]
 //       Protocol client: replays the traces over M concurrent sessions
 //       against a running daemon; prints records/s and Ping/Pong RTT tail
 //       latency, plus each session's digest receipt (these must equal
 //       `pnm replay` digests of the same traces).
+//
+//   pnm flight-dump --admin-port P [--host H] [--out FILE]
+//       Fetch a running daemon's flight-recorder dump (GET /flight) and
+//       print it (or write it to --out as a .pnmflight file).
 //
 //   pnm list
 //       Available schemes and attacks.
@@ -87,6 +91,15 @@
 //                              PNM_FORCE_SHA_BACKEND, flag wins. Verdicts
 //                              and digests are backend-independent — this
 //                              only changes speed.
+//   --provenance-rate N        sample 1-in-N records for provenance tracing
+//                              (0 = off, default 64). Sampling is a
+//                              deterministic content hash, so replays at any
+//                              shard/thread count trace the same records.
+//
+// `pnm replay --provenance-out FILE` writes the canonical provenance JSONL
+// (deterministic stages/fields, byte-identical across shard/thread configs);
+// `pnm serve --flight-dump FILE [--watchdog-ms N]` arms the anomaly watchdog
+// and fatal-signal flight dumps.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -103,8 +116,11 @@
 #include "crypto/sha256_multi.h"
 #include "ingest/replay.h"
 #include "obs/exposition.h"
+#include "obs/flight.h"
+#include "obs/provenance.h"
 #include "obs/span.h"
 #include "serve/loadgen.h"
+#include "serve/socket.h"
 #include "serve/server.h"
 #include "sink/batch_verifier.h"
 #include "sink/route_render.h"
@@ -145,6 +161,9 @@ Args parse(int argc, char** argv, int first) {
   }
   return args;
 }
+
+bool write_file(const std::string& path, const std::string& content,
+                const char* what);
 
 pnm::marking::SchemeKind scheme_by_name(const std::string& name) {
   for (auto kind : pnm::marking::all_scheme_kinds())
@@ -489,6 +508,15 @@ int cmd_replay(const Args& args) {
   std::fputs(t.render().c_str(), stdout);
   std::printf("verdict digest: %s\n", r.verdict_digest.c_str());
   std::printf("counters: %s\n", pnm::util::Counters::global().to_json().c_str());
+
+  std::string prov_path = args.str("provenance-out", "");
+  if (!prov_path.empty()) {
+    // Canonical JSONL: the deterministic view (CI byte-compares it across
+    // shard/thread matrices), not the timestamped runtime stream.
+    if (!write_file(prov_path, pnm::obs::provenance_jsonl_canonical(),
+                    "provenance JSONL"))
+      return 1;
+  }
   return 0;
 }
 
@@ -567,6 +595,8 @@ int cmd_serve(const Args& args) {
   cfg.credit_window = static_cast<std::uint32_t>(args.num("credit-window", 256));
   cfg.scoped = args.num("scoped", 0) != 0;
   cfg.counters = &pnm::util::Counters::global();
+  cfg.flight_dump_path = args.str("flight-dump", "");
+  cfg.watchdog_ms = args.num("watchdog-ms", 500);
 
   std::string error;
   auto server = pnm::serve::Server::create(cfg, &error);
@@ -617,6 +647,7 @@ int cmd_loadgen(const Args& args) {
   cfg.connections = args.num("connections", 1);
   cfg.repeat = args.num("repeat", 1);
   cfg.ping_every = args.num("ping-every", 32);
+  cfg.pace_us = args.num("pace-us", 0);
   std::string traces = args.str("traces", "");
   for (std::size_t pos = 0; pos < traces.size();) {
     std::size_t comma = traces.find(',', pos);
@@ -668,6 +699,48 @@ int cmd_loadgen(const Args& args) {
   return stats.ok ? 0 : 1;
 }
 
+int cmd_flight_dump(const Args& args) {
+  std::uint16_t admin_port = static_cast<std::uint16_t>(args.num("admin-port", 0));
+  if (admin_port == 0) {
+    std::fprintf(stderr, "flight-dump: --admin-port P is required\n");
+    return 2;
+  }
+  std::string host = args.str("host", "127.0.0.1");
+  std::string error;
+  pnm::serve::Socket sock = pnm::serve::Socket::connect_tcp(host, admin_port, &error);
+  if (!sock.valid()) {
+    std::fprintf(stderr, "flight-dump: %s\n", error.c_str());
+    return 1;
+  }
+  std::string request = "GET /flight HTTP/1.0\r\n\r\n";
+  if (!sock.send_all(pnm::ByteView(
+          reinterpret_cast<const std::uint8_t*>(request.data()), request.size()))) {
+    std::fprintf(stderr, "flight-dump: send failed\n");
+    return 1;
+  }
+  std::string response;
+  char buf[4096];
+  long n;
+  while ((n = sock.recv_some(buf, sizeof(buf))) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  std::size_t body_at = response.find("\r\n\r\n");
+  if (body_at == std::string::npos || response.rfind("HTTP/1.0 200", 0) != 0) {
+    std::fprintf(stderr, "flight-dump: bad admin response\n");
+    return 1;
+  }
+  std::string body = response.substr(body_at + 4);
+  std::string out_path = args.str("out", "");
+  if (!out_path.empty()) {
+    if (!write_file(out_path, body, "flight dump")) return 1;
+    std::printf("flight dump written to %s (%zu bytes)\n", out_path.c_str(),
+                body.size());
+  } else {
+    std::fputs(body.c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  return 0;
+}
+
 int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "list") return cmd_list();
   if (cmd == "experiment") return cmd_experiment(args);
@@ -681,6 +754,7 @@ int dispatch(const std::string& cmd, const Args& args) {
   if (cmd == "trace-stat") return cmd_trace_stat(args);
   if (cmd == "serve") return cmd_serve(args);
   if (cmd == "loadgen") return cmd_loadgen(args);
+  if (cmd == "flight-dump") return cmd_flight_dump(args);
   std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
   return 2;
 }
@@ -702,10 +776,11 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: %s <experiment|campaign|matrix|sweep|model|verify|record|"
-                 "replay|trace-stat|serve|loadgen|list> [--flag value ...]\n"
+                 "replay|trace-stat|serve|loadgen|flight-dump|list> [--flag value ...]\n"
                  "       [--metrics-out FILE] [--metrics-format json|prom]\n"
                  "       [--sha-backend scalar|sse2|avx2|shani]\n"
-                 "       [--span-trace FILE] [--metrics-every-ms N]\n",
+                 "       [--span-trace FILE] [--metrics-every-ms N]\n"
+                 "       [--provenance-rate N]\n",
                  argv[0]);
     return 2;
   }
@@ -733,6 +808,11 @@ int main(int argc, char** argv) {
   std::string span_path = args.str("span-trace", "");
   if (!span_path.empty()) pnm::obs::SpanCollector::global().enable();
 
+  if (args.has("provenance-rate")) {
+    pnm::obs::ProvenanceCollector::global().set_sample_rate(
+        static_cast<std::uint32_t>(args.num("provenance-rate", 64)));
+  }
+
   std::unique_ptr<pnm::obs::Reporter> reporter;
   if (std::size_t every_ms = args.num("metrics-every-ms", 0)) {
     reporter = std::make_unique<pnm::obs::Reporter>(
@@ -759,8 +839,9 @@ int main(int argc, char** argv) {
     if (!write_file(metrics_path, body, "metrics")) return 1;
   }
   if (!span_path.empty()) {
-    if (!write_file(span_path, pnm::obs::SpanCollector::global().chrome_trace_json(),
-                    "span trace"))
+    // Same serializer the admin /spans endpoint uses: spans plus any sampled
+    // provenance instants in one Chrome trace stream.
+    if (!write_file(span_path, pnm::obs::export_chrome_trace(), "span trace"))
       return 1;
   }
   return rc;

@@ -14,7 +14,15 @@
 //                          sweep over one fixed workload (pkts_per_s is the
 //                          scaling axis; threads=1 is the serial baseline);
 //   BM_BatchVerifyScoped — same sweep through the §7 scoped search with the
-//                          sharded PRF memo cache.
+//                          sharded PRF memo cache;
+//   BM_CrossPacketVerify — the cross-packet batch planner (--pack-mode=cross,
+//                          the default) vs the per-packet baseline on a
+//                          duplicate-heavy 64-flow batch: flows re-deliver
+//                          the same report, so the planner shares one
+//                          AnonIdTable per distinct report and packs every
+//                          packet's PRF/MAC lanes into global sweeps. The
+//                          cross/packet ratio is this tentpole's acceptance
+//                          number recorded by scripts/bench_record.py.
 //
 // After the benchmark run, the global metrics registry is scraped and dumped
 // as one JSON line ("metrics: {...}") so CI and scripts can scrape PRF/MAC/
@@ -33,6 +41,7 @@
 #include "net/report.h"
 #include "net/topology.h"
 #include "obs/exposition.h"
+#include "obs/metrics.h"
 #include "sink/anon_lookup.h"
 #include "sink/batch_verifier.h"
 #include "util/rng.h"
@@ -237,6 +246,76 @@ void BM_BatchVerifyScoped(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_BatchVerifyScoped)->Arg(1)->Arg(4)->Arg(8)->UseRealTime();
+
+// Duplicate-heavy flow traffic: `packets` deliveries spread over `flows`
+// distinct reports. Re-delivered flows are exactly what the cross-packet
+// planner dedups — one shared table per distinct report — while marks still
+// differ per delivery (independent marking draws).
+std::vector<pnm::net::Packet> flow_workload(const pnm::crypto::KeyStore& keys,
+                                            const pnm::marking::MarkingScheme& scheme,
+                                            std::size_t packets, std::size_t flows,
+                                            std::size_t hops) {
+  pnm::Rng rng(31337);
+  std::vector<pnm::net::Packet> out;
+  out.reserve(packets);
+  for (std::size_t n = 0; n < packets; ++n) {
+    auto flow = static_cast<std::uint32_t>(n % flows);
+    pnm::net::Packet p;
+    p.report = pnm::net::Report{flow, 3, 3, flow}.encode();
+    for (std::size_t h = hops; h >= 1; --h) {
+      auto v = static_cast<pnm::NodeId>(h);
+      scheme.mark(p, v, keys.key_unchecked(v), rng);
+    }
+    p.delivered_by = 1;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+// Cross-packet planner vs per-packet baseline, single worker so the ratio
+// isolates lane packing + table dedup (not thread scaling). Arg: 0 = packet
+// (per-packet baseline), 1 = cross (the planner, the default pack mode).
+void BM_CrossPacketVerify(benchmark::State& state) {
+  const bool cross = state.range(0) != 0;
+  std::size_t nodes = 1000, hops = 20, packets = 256, flows = 64;
+  pnm::crypto::KeyStore keys(master(), nodes);
+  pnm::marking::SchemeConfig cfg;
+  cfg.mark_probability = 3.0 / static_cast<double>(hops);
+  auto scheme = pnm::marking::make_scheme(pnm::marking::SchemeKind::kPnm, cfg);
+  auto workload = flow_workload(keys, *scheme, packets, flows, hops);
+
+  pnm::sink::BatchVerifierConfig bcfg;
+  bcfg.threads = 1;
+  bcfg.pack_mode = cross ? pnm::sink::PackMode::kCross : pnm::sink::PackMode::kPacket;
+  pnm::sink::BatchVerifier engine(*scheme, keys, bcfg);
+
+  // Bracket the timed loop with lane-occupancy snapshots: the mean jobs per
+  // multi-buffer sweep is the planner's whole mechanism, so the per-mode
+  // delta lands in BENCH_10.json's cross_packet section next to the ratio.
+  pnm::obs::Histogram& lanes =
+      pnm::obs::MetricsRegistry::global().histogram("crypto_lanes_filled");
+  auto lanes0 = lanes.snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.verify_batch(workload));
+  }
+  auto lanes1 = lanes.snapshot();
+  const double sweeps = static_cast<double>(lanes1.count - lanes0.count);
+  state.counters["lanes_mean"] =
+      sweeps > 0.0 ? static_cast<double>(lanes1.sum - lanes0.sum) / sweeps : 0.0;
+  // Sweeps per packet is where report dedup shows up at this network size:
+  // per-packet mode rebuilds a full-lane table for every duplicate report,
+  // cross mode builds it once per distinct report.
+  state.counters["sweeps_per_pkt"] =
+      sweeps / static_cast<double>(state.iterations() * workload.size());
+  state.SetLabel(pnm::sink::pack_mode_name(*bcfg.pack_mode));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * workload.size()));
+  state.counters["flows"] = static_cast<double>(flows);
+  state.counters["pkts_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * workload.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CrossPacketVerify)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -35,6 +35,7 @@ DEFAULT_GATES = [
     "BM_BatchVerify",
     "BM_SimulatorEvents",
     "BM_CampaignSweep",
+    "BM_CrossPacketVerify",
 ]
 
 
@@ -182,9 +183,30 @@ def main():
     elif prov:
         print("provenance overhead: section present but ratio missing -> FAIL")
 
+    # Cross-packet gate: a record carrying a "cross_packet" section (BENCH_10+)
+    # must hold the batch planner at or above its recorded speedup target over
+    # the per-packet baseline on the duplicate-heavy flow batch — lane packing
+    # that no longer pays for its bookkeeping is a trajectory regression.
+    cross = new_record.get("cross_packet")
+    cross_failed = bool(cross) and not cross.get("meets_target", False)
+    if cross and "speedup" in cross:
+        print(
+            f"cross-packet planner: {cross['speedup']:.3f}x over "
+            f"--pack-mode=packet (target {cross['target']}x) -> "
+            f"{'FAIL' if cross_failed else 'ok'}"
+        )
+    elif cross:
+        print("cross-packet planner: section present but speedup missing -> FAIL")
+
     verdict = (
         "fail"
-        if (regressed or serve_failed or sim_core_failed or prov_failed)
+        if (
+            regressed
+            or serve_failed
+            or sim_core_failed
+            or prov_failed
+            or cross_failed
+        )
         else "pass"
     )
     if args.out:
@@ -192,7 +214,7 @@ def main():
             json.dump(
                 {"old": args.old, "new": args.new, "tolerance": args.tolerance,
                  "gates": gates, "serve": serve_vs, "sim_event_core": sim_core,
-                 "provenance_overhead": prov,
+                 "provenance_overhead": prov, "cross_packet": cross,
                  "verdict": verdict, "rows": rows},
                 f, indent=2, sort_keys=True)
             f.write("\n")
@@ -230,6 +252,13 @@ def main():
         print(
             f"\nFAIL: provenance overhead at {prov.get('overhead', '?')}x of "
             f"the untraced replay (target <= {prov.get('target', '?')}x)",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    if cross_failed:
+        print(
+            f"\nFAIL: cross-packet planner at {cross.get('speedup', '?')}x over "
+            f"--pack-mode=packet (target {cross.get('target', '?')}x)",
             file=sys.stderr,
         )
         raise SystemExit(1)

@@ -37,6 +37,7 @@ DEFAULT_GATES = [
     "BM_BatchVerify",
     "BM_SimulatorEvents",
     "BM_CampaignSweep",
+    "BM_CrossPacketVerify",
 ]
 
 # One color per series; panels reuse them.

@@ -29,7 +29,7 @@ Bytes anon_id(ByteView node_key, ByteView original_message, NodeId real_id,
 Bytes anon_id(const HmacKey& node_key, ByteView original_message, NodeId real_id,
               std::size_t anon_len) {
   assert(anon_len >= 1 && anon_len <= kSha256DigestSize);
-  return node_key.truncated(anon_id_input(original_message, real_id), anon_len);
+  return truncated_mac(node_key, anon_id_input(original_message, real_id), anon_len);
 }
 
 void anon_id_batch(const KeyStore& keys, ByteView report, std::span<const NodeId> ids,
@@ -65,6 +65,59 @@ void anon_id_batch(const KeyStore& keys, ByteView report, std::span<const NodeId
   hmac_batch(jobs, full.data());
   for (std::size_t i = 0; i < n; ++i)
     std::memcpy(out + i * anon_len, full[i].data(), anon_len);
+}
+
+void anon_id_batch_multi(const KeyStore& keys, std::span<const AnonIdSweepJob> sweep_jobs,
+                         std::size_t anon_len) {
+  assert(anon_len >= 1 && anon_len <= kSha256DigestSize);
+  std::size_t total = 0;
+  std::size_t arena_bytes = 0;
+  for (const AnonIdSweepJob& sj : sweep_jobs) {
+    total += sj.ids.size();
+    arena_bytes += sj.ids.size() * (1 + 2 + sj.report.size() + 2);
+  }
+  if (total == 0) return;
+
+  // Same per-lane template as anon_id_batch ([0xA1][len16 LE][report][id16
+  // LE]), but all reports' lanes share one arena and one hmac_batch call.
+  // Reports of equal length still form one lockstep group downstream.
+  thread_local Bytes arena;
+  thread_local std::vector<HmacBatchJob> jobs;
+  thread_local std::vector<Sha256Digest> full;
+  arena.resize(arena_bytes);
+  jobs.resize(total);
+  full.resize(total);
+
+  std::size_t lane = 0;
+  std::uint8_t* cursor = arena.data();
+  for (const AnonIdSweepJob& sj : sweep_jobs) {
+    const std::size_t n = sj.ids.size();
+    if (n == 0) continue;
+    const std::size_t stride = 1 + 2 + sj.report.size() + 2;
+    std::uint8_t* slot0 = cursor;
+    slot0[0] = 0xA1;  // domain separation: anonymous-ID PRF, never a marking MAC
+    slot0[1] = static_cast<std::uint8_t>(sj.report.size());
+    slot0[2] = static_cast<std::uint8_t>(sj.report.size() >> 8);
+    if (!sj.report.empty()) std::memcpy(slot0 + 3, sj.report.data(), sj.report.size());
+    for (std::size_t i = 1; i < n; ++i) std::memcpy(cursor + i * stride, slot0, stride - 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint8_t* slot = cursor + i * stride;
+      slot[stride - 2] = static_cast<std::uint8_t>(sj.ids[i]);
+      slot[stride - 1] = static_cast<std::uint8_t>(sj.ids[i] >> 8);
+      jobs[lane + i] = {&keys.hmac_key(sj.ids[i]), ByteView(slot, stride)};
+    }
+    lane += n;
+    cursor += n * stride;
+  }
+
+  hmac_batch(std::span<const HmacBatchJob>(jobs.data(), total), full.data());
+
+  lane = 0;
+  for (const AnonIdSweepJob& sj : sweep_jobs) {
+    for (std::size_t i = 0; i < sj.ids.size(); ++i)
+      std::memcpy(sj.out + i * anon_len, full[lane + i].data(), anon_len);
+    lane += sj.ids.size();
+  }
 }
 
 }  // namespace pnm::crypto

@@ -45,4 +45,20 @@ Bytes anon_id(const HmacKey& node_key, ByteView original_message, NodeId real_id
 void anon_id_batch(const KeyStore& keys, ByteView report, std::span<const NodeId> ids,
                    std::size_t anon_len, std::uint8_t* out);
 
+/// One report's PRF sweep inside a cross-report batch: `out` receives
+/// ids.size() * anon_len bytes, laid out exactly like anon_id_batch's out.
+struct AnonIdSweepJob {
+  ByteView report;
+  std::span<const NodeId> ids;
+  std::uint8_t* out = nullptr;
+};
+
+/// Cross-report PRF sweep: every job's lanes go through ONE hmac_batch call,
+/// so a verify batch of many distinct reports fills SIMD lanes even when each
+/// report alone could not. Per-job output is bit-identical to calling
+/// anon_id_batch(keys, job.report, job.ids, anon_len, job.out) job by job.
+/// This is the engine under the cross-packet batch planner (sink::BatchPlan).
+void anon_id_batch_multi(const KeyStore& keys, std::span<const AnonIdSweepJob> sweep_jobs,
+                         std::size_t anon_len);
+
 }  // namespace pnm::crypto

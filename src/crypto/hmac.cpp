@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cstring>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/sha256_multi.h"
@@ -74,6 +76,26 @@ Bytes truncated_mac(ByteView key, ByteView data, std::size_t mac_len) {
   assert(mac_len >= 1 && mac_len <= kSha256DigestSize);
   Sha256Digest full = hmac_sha256(key, data);
   return Bytes(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(mac_len));
+}
+
+Bytes truncated_mac(const HmacKey& key, ByteView data, std::size_t mac_len) {
+  assert(mac_len >= 1 && mac_len <= kSha256DigestSize);
+  HmacBatchJob job{&key, data};
+  Sha256Digest full;
+  hmac_batch({&job, 1}, &full);
+  return Bytes(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(mac_len));
+}
+
+const HmacKey& cached_hmac_key(ByteView key) {
+  // Simulated networks hold a few thousand node keys; the cap is far above
+  // that, so the flush only ever fires on pathological key churn.
+  constexpr std::size_t kMaxCachedSchedules = 1 << 14;
+  thread_local std::unordered_map<std::string, HmacKey> schedules;
+  std::string k(reinterpret_cast<const char*>(key.data()), key.size());
+  auto it = schedules.find(k);
+  if (it != schedules.end()) return it->second;
+  if (schedules.size() >= kMaxCachedSchedules) schedules.clear();
+  return schedules.emplace(std::move(k), HmacKey(key)).first->second;
 }
 
 bool verify_mac(ByteView key, ByteView data, ByteView mac) {

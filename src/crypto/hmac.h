@@ -58,6 +58,20 @@ void hmac_batch(std::span<const HmacBatchJob> jobs, Sha256Digest* outs);
 /// mac_len must be in [1, 32].
 Bytes truncated_mac(ByteView key, ByteView data, std::size_t mac_len);
 
+/// Truncated MAC through a precomputed schedule, routed through the
+/// multi-buffer engine (a one-job hmac_batch). Bit-identical to
+/// truncated_mac(raw_key, data, mac_len); the pad compressions are already
+/// paid and the compression runs on the active dispatch rung.
+Bytes truncated_mac(const HmacKey& key, ByteView data, std::size_t mac_len);
+
+/// Thread-local memo of HMAC key schedules keyed by raw key bytes — the
+/// marking-side counterpart of KeyStore::hmac_key for callers that only hold
+/// a key (simulated nodes re-MAC under their own key per packet; rebuilding
+/// the schedule costs two pad compressions per mark otherwise). Bounded:
+/// the memo flushes wholesale at a fixed cap, so the returned reference is
+/// only valid until the next cached_hmac_key call on this thread.
+const HmacKey& cached_hmac_key(ByteView key);
+
 /// Verify a truncated MAC in constant time.
 bool verify_mac(ByteView key, ByteView data, ByteView mac);
 

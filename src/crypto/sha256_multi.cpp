@@ -86,6 +86,26 @@ Sha256Backend resolve_default() {
 /// switch only picks the other (bit-identical) kernel for a few blocks.
 std::atomic<int> g_forced{-1};
 
+/// set_sha_crossover override; -1 = none (env/default applies).
+std::atomic<long long> g_crossover{-1};
+
+/// Occupancy crossover after the (startup-read) PNM_SHA_CROSSOVER override.
+std::size_t default_crossover() {
+  static const std::size_t resolved = [] {
+    if (const char* env = std::getenv("PNM_SHA_CROSSOVER")) {
+      char* end = nullptr;
+      unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && *end == '\0') return static_cast<std::size_t>(v);
+      std::fprintf(stderr,
+                   "pnm: unrecognized PNM_SHA_CROSSOVER=%s (want a job count); "
+                   "using %zu\n",
+                   env, kDefaultShaCrossover);
+    }
+    return kDefaultShaCrossover;
+  }();
+  return resolved;
+}
+
 // Register the engine's instruments before main so the replay metrics key
 // set is identical on every backend and workload (the golden pins it).
 const bool g_metrics_registered = [] {
@@ -249,6 +269,16 @@ void force_sha_backend(std::optional<Sha256Backend> backend) {
   backend_gauge().set(static_cast<int>(active_sha_backend()));
 }
 
+std::size_t sha_crossover() {
+  long long v = g_crossover.load(std::memory_order_relaxed);
+  return v >= 0 ? static_cast<std::size_t>(v) : default_crossover();
+}
+
+void set_sha_crossover(std::optional<std::size_t> jobs) {
+  g_crossover.store(jobs ? static_cast<long long>(*jobs) : -1,
+                    std::memory_order_relaxed);
+}
+
 Sha256Backend sha256_multi_backend(std::size_t jobs) {
   Sha256Backend b = active_sha_backend();
   if (g_forced.load(std::memory_order_relaxed) >= 0 ||
@@ -257,8 +287,12 @@ Sha256Backend sha256_multi_backend(std::size_t jobs) {
   }
   // Occupancy refinement: single-lane SHA-NI has the fastest rounds, but a
   // full 8-lane AVX2 sweep retires 8 blocks per schedule and overtakes it
-  // once there is enough independent work to keep every lane busy.
-  if (b == Sha256Backend::kShaNi && jobs >= 8 && supported(Sha256Backend::kAvx2)) {
+  // once there is enough independent work to keep every lane busy. The
+  // crossover defaults to full lanes and is machine-tunable (`pnm sha-tune`
+  // / PNM_SHA_CROSSOVER); 0 keeps SHA-NI unconditionally.
+  const std::size_t cross = sha_crossover();
+  if (b == Sha256Backend::kShaNi && cross != 0 && jobs >= cross &&
+      supported(Sha256Backend::kAvx2)) {
     return Sha256Backend::kAvx2;
   }
   return b;

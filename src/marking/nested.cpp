@@ -13,7 +13,10 @@ void NestedMarking::mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) co
 net::Mark NestedMarking::make_mark(const net::Packet& p, NodeId claimed, ByteView key,
                                    Rng&) const {
   Bytes id_field = encode_id(claimed);
-  Bytes mac = crypto::truncated_mac(key, nested_mac_input(p, p.marks.size(), id_field),
+  // Memoized schedule + multi-buffer route: same bytes as the raw-key path,
+  // but a node's pad compressions are paid once per simulation, not per mark.
+  Bytes mac = crypto::truncated_mac(crypto::cached_hmac_key(key),
+                                    nested_mac_input(p, p.marks.size(), id_field),
                                     cfg_.mac_len);
   return net::Mark{std::move(id_field), std::move(mac)};
 }

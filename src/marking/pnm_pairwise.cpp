@@ -12,7 +12,7 @@ PnmPairwise::PnmPairwise(SchemeConfig cfg, const crypto::PairwiseKeys& pair_keys
     : MarkingScheme(cfg), pair_keys_(pair_keys), topo_(topo), claim_len_(claim_len) {}
 
 Bytes PnmPairwise::anon_part(ByteView report, NodeId node, ByteView node_key) const {
-  return crypto::anon_id(node_key, report, node, cfg_.anon_len);
+  return crypto::anon_id(crypto::cached_hmac_key(node_key), report, node, cfg_.anon_len);
 }
 
 Bytes PnmPairwise::claim_tag(ByteView report, ByteView anon, NodeId self,
@@ -22,7 +22,8 @@ Bytes PnmPairwise::claim_tag(ByteView report, ByteView anon, NodeId self,
   w.blob16(report);
   w.blob16(anon);
   w.u16(prev);
-  return crypto::truncated_mac(pair_keys_.key(self, prev), w.bytes(), claim_len_);
+  return crypto::truncated_mac(crypto::cached_hmac_key(pair_keys_.key(self, prev)),
+                               w.bytes(), claim_len_);
 }
 
 void PnmPairwise::mark(net::Packet& p, NodeId self, ByteView key, Rng& rng) const {
@@ -42,7 +43,8 @@ net::Mark PnmPairwise::make_mark(const net::Packet& p, NodeId claimed, ByteView 
     for (std::size_t i = 0; i < claim_len_; ++i)
       id_field.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
   }
-  Bytes mac = crypto::truncated_mac(key, nested_mac_input(p, p.marks.size(), id_field),
+  Bytes mac = crypto::truncated_mac(crypto::cached_hmac_key(key),
+                                    nested_mac_input(p, p.marks.size(), id_field),
                                     cfg_.mac_len);
   return net::Mark{std::move(id_field), std::move(mac)};
 }

@@ -18,8 +18,15 @@ net::Mark PnmScheme::make_mark(const net::Packet& p, NodeId claimed, ByteView ke
   // The anonymous ID binds to the ORIGINAL report M, not to M_{i-1}: the sink
   // must be able to precompute one table per report that resolves every
   // mark in the packet, regardless of how many marks precede each.
-  Bytes id_field = crypto::anon_id(key, p.report, claimed, cfg_.anon_len);
-  Bytes mac = crypto::truncated_mac(key, nested_mac_input(p, p.marks.size(), id_field),
+  //
+  // Both hashes run through the node's memoized key schedule and the
+  // multi-buffer engine (campaign simulations re-mark under the same few
+  // thousand node keys millions of times); output is bit-identical to the
+  // raw-key path and no Rng is consulted, so scenario goldens are unaffected.
+  const crypto::HmacKey& schedule = crypto::cached_hmac_key(key);
+  Bytes id_field = crypto::anon_id(schedule, p.report, claimed, cfg_.anon_len);
+  Bytes mac = crypto::truncated_mac(schedule,
+                                    nested_mac_input(p, p.marks.size(), id_field),
                                     cfg_.mac_len);
   return net::Mark{std::move(id_field), std::move(mac)};
 }

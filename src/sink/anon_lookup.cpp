@@ -42,7 +42,20 @@ AnonIdTable::AnonIdTable(const crypto::KeyStore& keys, ByteView report,
   ids.clear();
   for (std::size_t i = 1; i < keys.size(); ++i) ids.push_back(static_cast<NodeId>(i));
   ByteView anons = batched_anon_ids(keys, report, ids, anon_len);
+  build(ids, anons);
+}
 
+AnonIdTable AnonIdTable::from_precomputed(std::span<const NodeId> ids, ByteView anons,
+                                          std::size_t anon_len) {
+  AnonIdTable t;
+  t.anon_len_ = anon_len;
+  if (ids.empty() || anon_len == 0) return t;
+  t.build(ids, anons);
+  return t;
+}
+
+void AnonIdTable::build(std::span<const NodeId> ids, ByteView anons) {
+  const std::size_t anon_len = anon_len_;
   ids_.resize(ids.size());
   if (anon_len <= sizeof(std::uint64_t)) {
     thread_local std::vector<std::pair<std::uint64_t, NodeId>> entries;

@@ -37,12 +37,24 @@ class AnonIdTable {
  public:
   AnonIdTable(const crypto::KeyStore& keys, ByteView report, std::size_t anon_len);
 
+  /// Build from PRFs that were already computed elsewhere: `anons` holds
+  /// ids.size() anonymous IDs packed at stride anon_len, laid out like an
+  /// anon_id_batch output for `ids`. The cross-packet batch planner uses this
+  /// to share one global PRF sweep across every distinct report in a verify
+  /// batch; the resulting table is identical to the hashing constructor's.
+  static AnonIdTable from_precomputed(std::span<const NodeId> ids, ByteView anons,
+                                      std::size_t anon_len);
+
   /// All nodes whose anonymous ID for this report equals `anon`, ascending.
   std::span<const NodeId> candidates(ByteView anon) const;
 
   std::size_t distinct_ids() const { return distinct_; }
 
  private:
+  AnonIdTable() = default;
+  /// Sort `anons` (one per ids[i], stride anon_len_) into the flat layout.
+  void build(std::span<const NodeId> ids, ByteView anons);
+
   std::size_t anon_len_ = 0;
   std::size_t distinct_ = 0;
   std::vector<std::uint64_t> keys_;  ///< sorted packed anon IDs (anon_len <= 8)

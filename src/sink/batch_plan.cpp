@@ -1,0 +1,446 @@
+#include "sink/batch_plan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/anon_id.h"
+#include "crypto/hmac.h"
+#include "marking/mark.h"
+#include "sink/anon_lookup.h"
+
+namespace pnm::sink {
+
+namespace {
+
+std::atomic<int> g_forced_mode{-1};
+
+PackMode default_pack_mode() {
+  static const PackMode resolved = [] {
+    if (const char* env = std::getenv("PNM_PACK_MODE")) {
+      if (auto parsed = parse_pack_mode(env)) return *parsed;
+      std::fprintf(stderr, "pnm: unrecognized PNM_PACK_MODE=%s (want packet|cross); using cross\n",
+                   env);
+    }
+    return PackMode::kCross;
+  }();
+  return resolved;
+}
+
+std::string_view report_view(const net::Packet& p) {
+  return std::string_view(reinterpret_cast<const char*>(p.report.data()),
+                          p.report.size());
+}
+
+}  // namespace
+
+const char* pack_mode_name(PackMode mode) {
+  return mode == PackMode::kPacket ? "packet" : "cross";
+}
+
+std::optional<PackMode> parse_pack_mode(std::string_view name) {
+  std::string lowered(name);
+  for (char& c : lowered) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lowered == "packet" || lowered == "per-packet" || lowered == "per_packet")
+    return PackMode::kPacket;
+  if (lowered == "cross" || lowered == "batch") return PackMode::kCross;
+  return std::nullopt;
+}
+
+PackMode active_pack_mode() {
+  int forced = g_forced_mode.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<PackMode>(forced);
+  return default_pack_mode();
+}
+
+void force_pack_mode(std::optional<PackMode> mode) {
+  g_forced_mode.store(mode ? static_cast<int>(*mode) : -1, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive planner
+// ---------------------------------------------------------------------------
+
+void plan_verify_exhaustive(const marking::SchemeConfig& cfg,
+                            const crypto::KeyStore& keys,
+                            std::span<const net::Packet> packets,
+                            marking::VerifyResult* results, util::Counters& metrics,
+                            obs::Counter* reports_deduped) {
+  const std::size_t n = packets.size();
+  constexpr std::size_t kNoTable = static_cast<std::size_t>(-1);
+
+  // 1. Dedup: one table slot per distinct report among packets that carry
+  // marks (markless packets never build a table on the per-packet path).
+  std::unordered_map<std::string_view, std::size_t> table_of;
+  std::vector<ByteView> table_reports;
+  std::vector<std::size_t> packet_table(n, kNoTable);
+  std::uint64_t deduped = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::Packet& p = packets[i];
+    metrics.add(util::Metric::kPacketsVerified);
+    results[i] = marking::VerifyResult{};
+    results[i].total_marks = p.marks.size();
+    if (p.marks.empty()) continue;
+    auto [it, inserted] = table_of.try_emplace(report_view(p), table_reports.size());
+    if (inserted) {
+      table_reports.push_back(ByteView(p.report.data(), p.report.size()));
+    } else {
+      ++deduped;
+    }
+    packet_table[i] = it->second;
+  }
+  if (reports_deduped != nullptr && deduped > 0) reports_deduped->add(deduped);
+  if (table_reports.empty()) return;
+
+  // 2a. Global PRF sweep: every distinct table's node sweep (ids 1..N-1, the
+  // sink never marks) through ONE anon_id_batch_multi call, then sort each
+  // slice into a table. kPrfEvals meters PRFs actually computed — one sweep
+  // per *distinct* report, which is the point of the dedup.
+  const std::size_t node_cnt = keys.size() > 1 ? keys.size() - 1 : 0;
+  std::vector<NodeId> all_ids;
+  all_ids.reserve(node_cnt);
+  for (std::size_t i = 1; i <= node_cnt; ++i) all_ids.push_back(static_cast<NodeId>(i));
+
+  std::vector<AnonIdTable> tables;
+  tables.reserve(table_reports.size());
+  Bytes prf_arena;
+  if (node_cnt > 0 && cfg.anon_len > 0) {
+    const std::size_t stride = node_cnt * cfg.anon_len;
+    prf_arena.resize(table_reports.size() * stride);
+    std::vector<crypto::AnonIdSweepJob> sweep(table_reports.size());
+    for (std::size_t t = 0; t < table_reports.size(); ++t) {
+      sweep[t] = {table_reports[t], all_ids, prf_arena.data() + t * stride};
+    }
+    crypto::anon_id_batch_multi(keys, sweep, cfg.anon_len);
+    metrics.add(util::Metric::kPrfEvals, table_reports.size() * node_cnt);
+    for (std::size_t t = 0; t < table_reports.size(); ++t) {
+      tables.push_back(AnonIdTable::from_precomputed(
+          all_ids, ByteView(prf_arena.data() + t * stride, stride), cfg.anon_len));
+    }
+  } else {
+    // Degenerate network (sink only) or zero-width IDs: empty tables, same
+    // as the hashing constructor's early-out.
+    for (std::size_t t = 0; t < table_reports.size(); ++t) {
+      tables.push_back(AnonIdTable::from_precomputed({}, {}, cfg.anon_len));
+    }
+  }
+
+  // 2b. Global MAC sweep: candidate-set MACs for every mark of every packet
+  // in one hmac_batch. Safe to hoist because the nested-MAC input
+  // M_{j-1}|i' is a pure function of the packet bytes — it never depends on
+  // how earlier (higher-j) marks resolved. Lanes past a packet's break
+  // point are speculative and unmetered, exactly like the per-packet
+  // batched disambiguation.
+  struct MarkPlan {
+    std::span<const NodeId> cands;
+    std::size_t lane = 0;  ///< first MAC lane for this mark's candidates
+  };
+  std::vector<std::size_t> mark_off(n + 1, 0);
+  std::vector<MarkPlan> plans;
+  std::vector<Bytes> inputs;  // stable heap buffers; jobs hold views into them
+  std::vector<crypto::HmacBatchJob> jobs;
+  for (std::size_t i = 0; i < n; ++i) {
+    mark_off[i] = plans.size();
+    if (packet_table[i] == kNoTable) continue;
+    const net::Packet& p = packets[i];
+    const AnonIdTable& table = tables[packet_table[i]];
+    for (std::size_t j = 0; j < p.marks.size(); ++j) {
+      const net::Mark& m = p.marks[j];
+      MarkPlan mp;
+      if (m.id_field.size() == cfg.anon_len) {
+        mp.cands = table.candidates(m.id_field);
+        if (!mp.cands.empty()) {
+          inputs.push_back(marking::nested_mac_input(p, j, m.id_field));
+          mp.lane = jobs.size();
+          for (NodeId cand : mp.cands) {
+            jobs.push_back({&keys.hmac_key(cand), ByteView(inputs.back())});
+          }
+        }
+      }
+      plans.push_back(mp);
+    }
+  }
+  mark_off[n] = plans.size();
+  std::vector<crypto::Sha256Digest> macs(jobs.size());
+  if (!jobs.empty()) crypto::hmac_batch(jobs, macs.data());
+
+  // 3. Scatter: the per-packet backward walk, candidates in table order,
+  // kMacChecks metered per candidate walked up to the resolving one.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (packet_table[i] == kNoTable) continue;
+    const net::Packet& p = packets[i];
+    marking::VerifyResult& out = results[i];
+    for (std::size_t j = p.marks.size(); j-- > 0;) {
+      const net::Mark& m = p.marks[j];
+      const MarkPlan& mp = plans[mark_off[i] + j];
+      NodeId resolved = kInvalidNode;
+      for (std::size_t c = 0; c < mp.cands.size(); ++c) {
+        metrics.add(util::Metric::kMacChecks);
+        if (m.mac.size() >= 1 && m.mac.size() <= crypto::kSha256DigestSize &&
+            constant_time_equal(ByteView(macs[mp.lane + c].data(), m.mac.size()),
+                                m.mac)) {
+          resolved = mp.cands[c];
+          break;
+        }
+      }
+      if (resolved == kInvalidNode) {
+        out.invalid_marks = j + 1;
+        out.truncated_by_invalid = true;
+        break;
+      }
+      out.chain.insert(out.chain.begin(), marking::VerifiedMark{resolved, j});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scoped planner (lockstep wavefront over the §7 ring search)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One packet's ring-search state machine. Each wavefront round advances
+/// every in-flight lane by exactly one ring step, so the per-lane sequence of
+/// (mark, ring) probes — and therefore the verdict — is identical to running
+/// scoped_verify_pnm on that packet alone.
+struct ScopedLane {
+  const net::Packet* p = nullptr;
+  marking::VerifyResult* out = nullptr;
+  std::uint64_t rkey = 0;
+  NodeId anchor = kSinkId;
+  std::size_t j = 0;     ///< mark currently being resolved
+  std::size_t ring = 1;  ///< next ring to probe for mark j
+  std::vector<NodeId> tried;
+  Bytes input;  ///< nested_mac_input for mark j
+  bool active = false;
+
+  // Round scratch.
+  std::vector<NodeId> ball;
+  std::vector<NodeId> eligible;
+  std::vector<Bytes> anons;
+  std::vector<std::uint8_t> was_hit;
+  std::vector<std::uint32_t> miss_group, miss_pos;  ///< per miss: sweep slot
+  bool grew = false;
+};
+
+/// Mark `lane`'s current mark unresolved: truncate the chain and retire it.
+void truncate_lane(ScopedLane& lane) {
+  lane.out->invalid_marks = lane.j + 1;
+  lane.out->truncated_by_invalid = true;
+  lane.active = false;
+}
+
+/// Point `lane` at mark j (ring 1, nothing tried). A malformed identity
+/// field can never resolve, so it truncates immediately — same as the serial
+/// loop falling through its candidate search.
+void start_mark(ScopedLane& lane, std::size_t j, std::size_t anon_len) {
+  lane.j = j;
+  lane.ring = 1;
+  lane.tried.clear();
+  const net::Mark& m = lane.p->marks[j];
+  if (m.id_field.size() != anon_len) {
+    truncate_lane(lane);
+    return;
+  }
+  lane.input = marking::nested_mac_input(*lane.p, j, m.id_field);
+}
+
+}  // namespace
+
+void plan_verify_scoped(const marking::SchemeConfig& cfg, const crypto::KeyStore& keys,
+                        const net::Topology& topo,
+                        std::span<const net::Packet> packets,
+                        marking::VerifyResult* results, crypto::PrfCache* cache,
+                        util::Counters& metrics, obs::Counter* reports_deduped) {
+  const std::size_t n = packets.size();
+  const std::size_t ring_bound = topo.node_count();
+
+  std::vector<ScopedLane> lanes(n);
+  std::unordered_map<std::string_view, std::size_t> seen_reports;
+  std::uint64_t deduped = 0;
+  std::size_t in_flight = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::Packet& p = packets[i];
+    ScopedLane& lane = lanes[i];
+    metrics.add(util::Metric::kPacketsVerified);
+    results[i] = marking::VerifyResult{};
+    results[i].total_marks = p.marks.size();
+    if (p.marks.empty()) continue;
+    if (!seen_reports.try_emplace(report_view(p), i).second) ++deduped;
+    lane.p = &p;
+    lane.out = &results[i];
+    lane.rkey = cache != nullptr ? crypto::PrfCache::report_key(p.report) : 0;
+    lane.anchor = (p.delivered_by != kInvalidNode && p.delivered_by < topo.node_count())
+                      ? p.delivered_by
+                      : kSinkId;
+    lane.active = true;
+    start_mark(lane, p.marks.size() - 1, cfg.anon_len);
+    if (lane.active) ++in_flight;
+  }
+  if (reports_deduped != nullptr && deduped > 0) reports_deduped->add(deduped);
+
+  // Round scratch shared across rounds: misses grouped by report content so
+  // each round's PRF work is ONE anon_id_batch_multi sweep. Dedup is by
+  // (report bytes, node) — two in-flight packets probing the same pair share
+  // a lane, which is exactly the recomputation the PrfCache would have
+  // elided had the packets run back to back.
+  struct MissGroup {
+    ByteView report;
+    std::uint64_t rkey = 0;
+    std::vector<NodeId> nodes;
+    std::unordered_map<NodeId, std::uint32_t> slot_of;
+    Bytes out;
+  };
+  std::vector<MissGroup> groups;
+  std::unordered_map<std::string_view, std::size_t> group_of;
+  std::vector<crypto::AnonIdSweepJob> sweep;
+  std::vector<crypto::HmacBatchJob> mac_jobs;
+  std::vector<crypto::Sha256Digest> mac_out;
+  std::vector<std::uint32_t> match_lane;  // per lane: first MAC lane this round
+
+  while (in_flight > 0) {
+    // Phase A: every in-flight lane grows its ring, filters eligibility, and
+    // pre-probes the cache (hits never occupy a PRF lane).
+    groups.clear();
+    group_of.clear();
+    for (ScopedLane& lane : lanes) {
+      if (!lane.active) continue;
+      lane.ball = topo.k_hop_neighborhood(lane.anchor, lane.ring);
+      lane.eligible.clear();
+      for (NodeId candidate : lane.ball) {
+        if (candidate == kSinkId || candidate >= keys.size()) continue;
+        if (std::binary_search(lane.tried.begin(), lane.tried.end(), candidate))
+          continue;
+        lane.eligible.push_back(candidate);
+      }
+      lane.grew = !lane.eligible.empty();
+      lane.anons.assign(lane.eligible.size(), Bytes());
+      lane.was_hit.assign(lane.eligible.size(), 0);
+      lane.miss_group.assign(lane.eligible.size(), 0);
+      lane.miss_pos.assign(lane.eligible.size(), 0);
+      for (std::size_t i = 0; i < lane.eligible.size(); ++i) {
+        if (cache != nullptr &&
+            cache->try_get(lane.rkey, lane.eligible[i], cfg.anon_len, &lane.anons[i])) {
+          lane.was_hit[i] = 1;
+          continue;
+        }
+        auto [git, fresh] = group_of.try_emplace(report_view(*lane.p), groups.size());
+        if (fresh) {
+          groups.emplace_back();
+          groups.back().report = ByteView(lane.p->report.data(), lane.p->report.size());
+          groups.back().rkey = lane.rkey;
+        }
+        MissGroup& g = groups[git->second];
+        auto [sit, new_node] =
+            g.slot_of.try_emplace(lane.eligible[i],
+                                  static_cast<std::uint32_t>(g.nodes.size()));
+        if (new_node) g.nodes.push_back(lane.eligible[i]);
+        lane.miss_group[i] = static_cast<std::uint32_t>(git->second);
+        lane.miss_pos[i] = sit->second;
+      }
+    }
+
+    // Phase B: ONE global PRF sweep over every group's misses, then scatter
+    // the values back to lanes and into the cache (idempotent insert).
+    if (!groups.empty()) {
+      sweep.clear();
+      for (MissGroup& g : groups) {
+        g.out.resize(g.nodes.size() * cfg.anon_len);
+        sweep.push_back({g.report, g.nodes, g.out.data()});
+      }
+      crypto::anon_id_batch_multi(keys, sweep, cfg.anon_len);
+      if (cache != nullptr) {
+        for (MissGroup& g : groups) {
+          for (std::size_t k = 0; k < g.nodes.size(); ++k) {
+            cache->insert(g.rkey, g.nodes[k], cfg.anon_len,
+                          ByteView(g.out.data() + k * cfg.anon_len, cfg.anon_len));
+          }
+        }
+      }
+      for (ScopedLane& lane : lanes) {
+        if (!lane.active) continue;
+        for (std::size_t i = 0; i < lane.eligible.size(); ++i) {
+          if (lane.was_hit[i]) continue;
+          const MissGroup& g = groups[lane.miss_group[i]];
+          const std::uint8_t* v = g.out.data() + lane.miss_pos[i] * cfg.anon_len;
+          lane.anons[i].assign(v, v + cfg.anon_len);
+        }
+      }
+    }
+
+    // Phase C: ONE global MAC sweep over every lane's anon-matching
+    // candidates (speculative past each lane's break point, like the
+    // per-packet batched disambiguation).
+    mac_jobs.clear();
+    match_lane.assign(n, 0);
+    for (std::size_t li = 0; li < n; ++li) {
+      ScopedLane& lane = lanes[li];
+      if (!lane.active) continue;
+      match_lane[li] = static_cast<std::uint32_t>(mac_jobs.size());
+      const net::Mark& m = lane.p->marks[lane.j];
+      for (std::size_t i = 0; i < lane.eligible.size(); ++i) {
+        if (lane.anons[i] == m.id_field)
+          mac_jobs.push_back({&keys.hmac_key(lane.eligible[i]), ByteView(lane.input)});
+      }
+    }
+    mac_out.resize(mac_jobs.size());
+    if (!mac_jobs.empty()) crypto::hmac_batch(mac_jobs, mac_out.data());
+
+    // Phase D: walk each ring in ball order with the serial accounting, then
+    // advance the state machine (next ring, next mark, or done).
+    for (std::size_t li = 0; li < n; ++li) {
+      ScopedLane& lane = lanes[li];
+      if (!lane.active) continue;
+      const net::Mark& m = lane.p->marks[lane.j];
+      NodeId resolved = kInvalidNode;
+      std::uint32_t mac_lane = match_lane[li];
+      for (std::size_t i = 0; i < lane.eligible.size(); ++i) {
+        if (cache != nullptr && lane.was_hit[i]) {
+          metrics.add(util::Metric::kCacheHits);
+        } else {
+          if (cache != nullptr) metrics.add(util::Metric::kCacheMisses);
+          metrics.add(util::Metric::kPrfEvals);
+        }
+        if (lane.anons[i] != m.id_field) continue;
+        const std::uint32_t lane_idx = mac_lane++;
+        metrics.add(util::Metric::kMacChecks);
+        if (m.mac.size() >= 1 && m.mac.size() <= crypto::kSha256DigestSize &&
+            constant_time_equal(ByteView(mac_out[lane_idx].data(), m.mac.size()),
+                                m.mac)) {
+          resolved = lane.eligible[i];
+          break;
+        }
+      }
+
+      if (resolved != kInvalidNode) {
+        lane.out->chain.insert(lane.out->chain.begin(),
+                               marking::VerifiedMark{resolved, lane.j});
+        lane.anchor = resolved;
+        if (lane.j == 0) {
+          lane.active = false;
+        } else {
+          start_mark(lane, lane.j - 1, cfg.anon_len);
+        }
+      } else {
+        lane.tried = std::move(lane.ball);
+        std::sort(lane.tried.begin(), lane.tried.end());
+        if (!lane.grew || lane.ring + 1 > ring_bound) {
+          // Ring stopped growing (whole component searched) or the diameter
+          // bound is exhausted: the mark cannot resolve.
+          truncate_lane(lane);
+        } else {
+          ++lane.ring;
+        }
+      }
+      if (!lane.active) --in_flight;
+    }
+  }
+}
+
+}  // namespace pnm::sink

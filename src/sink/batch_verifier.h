@@ -17,12 +17,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "crypto/keys.h"
 #include "crypto/prf_cache.h"
 #include "marking/scheme.h"
 #include "net/topology.h"
+#include "sink/batch_plan.h"
 #include "util/counters.h"
 #include "util/thread_pool.h"
 
@@ -41,12 +43,24 @@ struct BatchVerifierConfig {
   /// thread (the serial reference path).
   std::size_t threads = 0;
   BatchStrategy strategy = BatchStrategy::kExhaustive;
-  /// Memoize PRF probes across marks/packets (scoped strategy only; the
-  /// exhaustive path computes each (node, report) PRF exactly once already).
+  /// Memoize PRF probes across marks/packets. Consulted by the scoped
+  /// strategy only: the exhaustive path computes each (node, report) PRF
+  /// exactly once per table already, so there the flag is accepted as a
+  /// documented no-op — it neither changes results nor touches the cache
+  /// (asserted by tests/batch_verify_test.cpp). Defaults keep it on so
+  /// switching strategy never needs a config edit.
   bool use_cache = true;
   /// Packets per task; 0 picks a chunk size that gives each worker ~4 tasks
-  /// so stragglers even out.
+  /// so stragglers even out. Per-packet pack mode only: the cross-packet
+  /// planner always splits the batch into one contiguous chunk per worker,
+  /// since bigger chunks mean fuller SIMD lanes and more table sharing.
   std::size_t chunk_size = 0;
+  /// How verify_batch fills SIMD lanes: per-packet paths or the cross-packet
+  /// planner (sink/batch_plan.h). Unset defers to active_pack_mode()
+  /// (--pack-mode / PNM_PACK_MODE / default kCross). Verdicts are
+  /// bit-identical either way; the planner applies to PNM only and other
+  /// schemes silently use the per-packet path.
+  std::optional<PackMode> pack_mode;
 };
 
 class BatchVerifier {
@@ -87,6 +101,8 @@ class BatchVerifier {
   util::Counters* counters_;
   obs::Histogram* packet_us_;        ///< per-packet verify latency, per strategy
   obs::Gauge* cache_hit_ratio_ppm_;  ///< hits/(hits+misses) in parts-per-million
+  obs::Counter* reports_deduped_;    ///< packets that shared another's table
+  bool plannable_;                   ///< scheme is PNM (planner semantics apply)
   crypto::PrfCache cache_;
   std::size_t threads_;
   std::unique_ptr<util::ThreadPool> pool_;  // created lazily, only if threads_ > 1

@@ -181,6 +181,24 @@ TEST_F(BatchVerifyFixture, ScopedCachedStrategyMatchesExhaustive) {
   EXPECT_GT(engine.cache().size(), 0u);
 }
 
+TEST_F(BatchVerifyFixture, UseCacheIsDocumentedNoOpForExhaustive) {
+  // BatchVerifierConfig::use_cache only drives the scoped strategy's PRF
+  // memo; with the exhaustive strategy it is accepted as a documented no-op —
+  // verdicts unchanged and the cache never populated.
+  auto batch = make_traffic(24, 43);
+  auto expected = serial_reference(batch);
+  BatchVerifierConfig bcfg;
+  bcfg.threads = 2;
+  bcfg.use_cache = true;  // exhaustive: must change nothing
+  BatchVerifier engine(*scheme_, keys_, bcfg);
+  auto got = engine.verify_batch(batch);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_TRUE(same_result(got[i], expected[i])) << "packet " << i;
+  }
+  EXPECT_EQ(engine.cache().size(), 0u);
+}
+
 TEST_F(BatchVerifyFixture, RepeatedBatchesAreDeterministic) {
   auto batch = make_traffic(32, 31);
   BatchVerifierConfig bcfg;
